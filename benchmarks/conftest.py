@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index).  The regenerated rows are printed to
+stdout (run with ``-s`` to see them live) and the *shape* assertions —
+who wins, by what rough factor, where the proportions fall — are enforced
+with asserts, per the reproduction contract.
+"""
+
+import pytest
+
+ARITH_SEQ_SUM = """
+define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {
+entry:
+  br label %for.cond
+for.cond:
+  %s.0 = phi i32 [ %a0, %entry ], [ %add1, %for.inc ]
+  %a.0 = phi i32 [ %a0, %entry ], [ %add, %for.inc ]
+  %i.0 = phi i32 [ 1, %entry ], [ %inc, %for.inc ]
+  %cmp = icmp ult i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %add = add i32 %a.0, %d
+  %add1 = add i32 %s.0, %add
+  br label %for.inc
+for.inc:
+  %inc = add i32 %i.0, 1
+  br label %for.cond
+for.end:
+  ret i32 %s.0
+}
+"""
+
+WAW_FIGURE_8 = """
+@b = external global [8 x i8]
+define void @foo() {
+entry:
+  store i16 0, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 2) to i16*)
+  store i16 2, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 3) to i16*)
+  store i16 1, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 0) to i16*)
+  ret void
+}
+"""
+
+NARROWING_FIGURE_10 = """
+@a = external global i96, align 4
+@b = external global i64, align 8
+define void @foo() {
+entry:
+  %srcval = load i96, i96* @a, align 4
+  %tmp96 = lshr i96 %srcval, 64
+  %tmp64 = trunc i96 %tmp96 to i64
+  store i64 %tmp64, i64* @b, align 8
+  ret void
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def arith_seq_sum_source():
+    return ARITH_SEQ_SUM
+
+
+@pytest.fixture(scope="session")
+def waw_source():
+    return WAW_FIGURE_8
+
+
+@pytest.fixture(scope="session")
+def narrowing_source():
+    return NARROWING_FIGURE_10

@@ -1,0 +1,162 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+- precise vs imprecise liveness (the paper's "inadequate sync points" row);
+- cut-bisimulation vs cut-simulation (refinement) mode;
+- per-predecessor loop points vs what happens when loop points are dropped
+  (the trust argument of Section 4: loophead coverage is *checked*, not
+  trusted);
+- the error-state acceptability policy (Section 4.6) vs a strict policy.
+"""
+
+import pytest
+
+from repro.isel import select_function
+from repro.keq import Keq, KeqOptions, Verdict, default_acceptability
+from repro.keq.acceptability import strict_acceptability
+from repro.llvm import parse_module
+from repro.llvm.semantics import LlvmSemantics
+from repro.tv import Category, TvOptions, validate_function
+from repro.vcgen import generate_sync_points
+from repro.vx86.semantics import Vx86Semantics
+
+LOOP = """
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %acc2 = add i32 %acc, %i
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %acc
+}
+"""
+
+SHIFT_UB = """
+define i32 @f(i32 %x, i32 %s) {
+entry:
+  %v = shl i32 %x, %s
+  ret i32 %v
+}
+"""
+
+
+def test_bench_liveness_ablation(benchmark):
+    """Precise liveness validates; the imprecise variant produces the
+    paper's inadequate-sync-points failure on the same function."""
+    module = parse_module(LOOP)
+
+    def run_both():
+        precise = validate_function(module, "sum", TvOptions())
+        imprecise = validate_function(
+            module, "sum", TvOptions(imprecise_liveness=True)
+        )
+        return precise.category, imprecise.category
+
+    precise_cat, imprecise_cat = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert precise_cat == Category.SUCCEEDED
+    assert imprecise_cat == Category.OTHER
+
+
+def _keq_report(source, mode="bisimulation", acceptability=None):
+    module = parse_module(source)
+    function = next(iter(module.functions.values()))
+    machine, hints = select_function(module, function)
+    points = generate_sync_points(module, function, machine, hints)
+    keq = Keq(
+        LlvmSemantics(module),
+        Vx86Semantics({machine.name: machine}),
+        acceptability or default_acceptability(),
+        KeqOptions(mode=mode),
+    )
+    return keq.check_equivalence(points)
+
+
+def test_bench_simulation_vs_bisimulation(benchmark):
+    """Refinement (cut-simulation) is implied by equivalence and is at
+    most as much work (footnote 5 / Section 8's N1-only variant)."""
+
+    def run_both():
+        bisim = _keq_report(LOOP, mode="bisimulation")
+        sim = _keq_report(LOOP, mode="simulation")
+        return bisim, sim
+
+    bisim, sim = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert bisim.verdict is Verdict.VALIDATED
+    assert sim.verdict is Verdict.VALIDATED
+    assert sim.stats.solver_queries <= bisim.stats.solver_queries
+
+
+def test_bench_loop_point_coverage_is_checked(benchmark):
+    """Dropping the loop points must make KEQ fail, not silently pass —
+    the Section 4 trust argument."""
+    module = parse_module(LOOP)
+    function = module.function("sum")
+    machine, hints = select_function(module, function)
+    points = [
+        p
+        for p in generate_sync_points(module, function, machine, hints)
+        if p.kind != "loop"
+    ]
+
+    def check():
+        keq = Keq(
+            LlvmSemantics(module),
+            Vx86Semantics({machine.name: machine}),
+            default_acceptability(),
+            KeqOptions(max_steps=500),
+        )
+        return keq.check_equivalence(points)
+
+    report = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert report.verdict is not Verdict.VALIDATED
+
+
+def test_bench_loop_point_style(benchmark):
+    """DESIGN §5: one point per loop-header predecessor (the paper's
+    choice) vs a single post-phi point per header.  Both must validate;
+    the bench records the work each does."""
+    module = parse_module(LOOP)
+    function = module.function("sum")
+    machine, hints = select_function(module, function)
+
+    def run_both():
+        reports = {}
+        for style in ("per-predecessor", "post-phi"):
+            points = generate_sync_points(
+                module, function, machine, hints, loop_point_style=style
+            )
+            keq = Keq(
+                LlvmSemantics(module),
+                Vx86Semantics({machine.name: machine}),
+                default_acceptability(),
+            )
+            reports[style] = (len(list(points)), keq.check_equivalence(points))
+        return reports
+
+    reports = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for style, (count, report) in reports.items():
+        print(f"\n{style}: {count} points, {report.stats.solver_queries} queries")
+        assert report.verdict is Verdict.VALIDATED
+    # Per-predecessor generates more points (one per in-edge).
+    assert reports["per-predecessor"][0] > reports["post-phi"][0]
+
+
+def test_bench_error_state_policy(benchmark):
+    """Section 4.6: with the default policy, source UB (oversized shift is
+    an LLVM error branch) licenses the x86 shift-masking behaviour; the
+    strict policy (no left-error acceptance) refutes the same pair."""
+
+    def run_both():
+        default = _keq_report(SHIFT_UB)
+        strict = _keq_report(SHIFT_UB, acceptability=strict_acceptability())
+        return default, strict
+
+    default, strict = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert default.verdict is Verdict.VALIDATED
+    assert strict.verdict is Verdict.NOT_VALIDATED

@@ -1,0 +1,111 @@
+"""Experiment: paper Section 5.2, Figures 8-11 — the reintroduced bugs.
+
+Regenerates both miscompilation studies: the translations are produced by
+the same ISel with the historical bug switched on, and KEQ must reject
+exactly the buggy variants, through exactly the paper's mechanisms
+(memory-contents mismatch at the exit point; unmatched out-of-bounds
+error state).
+"""
+
+from repro.isel import BugMode, IselOptions, select_function
+from repro.keq import FailureReason
+from repro.llvm import parse_module
+from repro.tv import Category, TvOptions, validate_function
+
+
+def test_bench_figure9_waw_matrix(benchmark, waw_source):
+    """All three Figure 9 variants: simple / optimized-correct / buggy."""
+    module = parse_module(waw_source)
+
+    def run_matrix():
+        return [
+            validate_function(module, "foo", TvOptions(isel=options)).category
+            for options in (
+                IselOptions(),
+                IselOptions(merge_stores=True),
+                IselOptions(bug=BugMode.WAW_STORE_MERGE),
+            )
+        ]
+
+    categories = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    assert categories == [
+        Category.SUCCEEDED,
+        Category.SUCCEEDED,
+        Category.MISCOMPILED,
+    ]
+
+
+def test_bench_waw_bug_mechanism(waw_source):
+    """The paper: 'symbolic execution ... leads to different memory
+    contents for the byte at offset 3, hence not allowing KEQ to prove the
+    constraint for equal memory contents at the exiting point'."""
+    module = parse_module(waw_source)
+    outcome = validate_function(
+        module, "foo", TvOptions(isel=IselOptions(bug=BugMode.WAW_STORE_MERGE))
+    )
+    assert outcome.category == Category.MISCOMPILED
+    assert any(
+        failure.reason is FailureReason.MEMORY
+        for failure in outcome.report.failures
+    )
+
+
+def test_bench_figure11_narrowing_matrix(benchmark, narrowing_source):
+    module = parse_module(narrowing_source)
+
+    def run_matrix():
+        return [
+            validate_function(module, "foo", TvOptions(isel=options)).category
+            for options in (
+                IselOptions(narrow_loads=True),
+                IselOptions(bug=BugMode.LOAD_NARROWING),
+            )
+        ]
+
+    categories = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    assert categories == [Category.SUCCEEDED, Category.MISCOMPILED]
+
+
+def test_bench_narrowing_bug_mechanism(narrowing_source):
+    """The paper: 'the symbolic execution of the output x86 program
+    branches into an out-of-bounds error state ... this error state cannot
+    be matched with any state in the input LLVM program' — not even
+    refinement holds."""
+    module = parse_module(narrowing_source)
+    outcome = validate_function(
+        module, "foo", TvOptions(isel=IselOptions(bug=BugMode.LOAD_NARROWING))
+    )
+    assert outcome.category == Category.MISCOMPILED
+    unmatched_right = [
+        failure
+        for failure in outcome.report.failures
+        if failure.reason is FailureReason.UNMATCHED_RIGHT
+    ]
+    assert any("out_of_bounds" in failure.detail for failure in unmatched_right)
+
+
+def test_bench_buggy_codegen_shapes(waw_source, narrowing_source):
+    """The buggy outputs are the paper's: merged store after the
+    overlapping store (Fig. 9b); an 8-byte load at offset 8 (Fig. 11b)."""
+    module = parse_module(waw_source)
+    machine, _ = select_function(
+        module, module.functions["foo"], IselOptions(bug=BugMode.WAW_STORE_MERGE)
+    )
+    stores = [
+        instruction
+        for _, _, instruction in machine.instructions()
+        if instruction.opcode == "store"
+    ]
+    assert stores[-1].operands[0].width_bytes == 4  # the moved wide store
+
+    module = parse_module(narrowing_source)
+    machine, _ = select_function(
+        module, module.functions["foo"], IselOptions(bug=BugMode.LOAD_NARROWING)
+    )
+    load = next(
+        instruction
+        for _, _, instruction in machine.instructions()
+        if instruction.opcode == "load"
+    )
+    assert load.operands[0].width_bytes == 8
+    assert load.operands[0].disp == 8

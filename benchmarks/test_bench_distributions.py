@@ -1,0 +1,74 @@
+"""Experiment: paper Figure 7 — validation time and code size distributions.
+
+Regenerates the two histograms over the calibrated corpus and asserts the
+paper's shapes: both distributions are heavily right-skewed, with the bulk
+of functions small and fast and a long tail of large/slow ones.
+"""
+
+import math
+from statistics import mean, median
+
+import pytest
+
+from repro.tv.batch import run_corpus
+from repro.workloads import gcc_like_corpus
+
+SCALE = 60
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    corpus = gcc_like_corpus(scale=SCALE, seed=2021)
+    return run_corpus(corpus)
+
+
+def _histogram(values, buckets):
+    counts = [0] * (len(buckets) + 1)
+    for value in values:
+        for index, bound in enumerate(buckets):
+            if value < bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    return counts
+
+
+def _render(label, buckets, counts, unit):
+    lines = [f"\nReproduced Figure 7 — {label}:"]
+    lower = 0.0
+    for bound, count in zip(list(buckets) + [math.inf], counts):
+        bar = "#" * count
+        lines.append(f"  [{lower:g}, {bound:g}) {unit:<6} {count:>4} {bar}")
+        lower = bound
+    return "\n".join(lines)
+
+
+def test_bench_figure7_time_distribution(benchmark, campaign):
+    times = benchmark.pedantic(
+        campaign.times, rounds=1, iterations=1
+    )
+    buckets = (0.005, 0.02, 0.1, 0.5)
+    counts = _histogram(times, buckets)
+    print(_render("validation time", buckets, counts, "s"))
+    # Shape: the first buckets hold the majority; a non-empty long tail.
+    assert counts[0] + counts[1] > sum(counts) / 2
+    assert mean(times) > 3 * median(times)
+
+
+def test_bench_figure7_size_distribution(campaign):
+    sizes = campaign.sizes()
+    buckets = (10, 30, 100, 300)
+    counts = _histogram(sizes, buckets)
+    print(_render("code size", buckets, counts, "insns"))
+    assert counts[0] + counts[1] > sum(counts) / 3
+    assert max(sizes) > 10 * median(sizes)
+
+
+def test_bench_time_tracks_size(campaign):
+    """Bigger functions take longer on average (the Figure 7 correlation)."""
+    supported = campaign.supported
+    small = [o.seconds for o in supported if o.code_size <= 10]
+    large = [o.seconds for o in supported if o.code_size > 50]
+    assert small and large
+    assert mean(large) > mean(small)

@@ -1,0 +1,70 @@
+"""Experiment: paper Figure 6 + Section 5.1 statistics — the GCC campaign.
+
+Regenerates the results table over the calibrated synthetic corpus (see
+DESIGN.md for the SPEC-2006 substitution) and asserts the paper's shape:
+
+- success rate around 90% (paper: 91.52%);
+- the failure ordering timeout >= OOM >> other;
+- validation time heavily right-skewed (mean >> median), the paper's
+  mean-150s/median-0.8s phenomenon.
+"""
+
+import pytest
+
+from repro.tv.batch import run_corpus
+from repro.workloads import gcc_like_corpus
+from repro.workloads.corpus import PAPER_SUCCEEDED, PAPER_SUPPORTED
+
+SCALE = 60
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    corpus = gcc_like_corpus(scale=SCALE, seed=2021)
+    return corpus, run_corpus(corpus)
+
+
+def test_bench_figure6_table(benchmark, campaign_result):
+    corpus, _ = campaign_result
+
+    result = benchmark.pedantic(
+        run_corpus, args=(corpus,), rounds=1, iterations=1
+    )
+
+    rows = dict(result.figure6_rows())
+    print("\nReproduced Figure 6 (scale %d):" % SCALE)
+    print(result.summary())
+    assert rows["Total"] == SCALE
+    # Shape: ~90% success (paper 91.52%).
+    paper_rate = PAPER_SUCCEEDED / PAPER_SUPPORTED
+    assert abs(result.success_rate() - paper_rate) < 0.06
+    # Shape: timeouts and OOMs dominate the failures; "other" is rare.
+    assert rows["Failed due to timeout"] >= rows["Other"]
+    assert rows["Failed due to out-of-memory"] >= rows["Other"]
+    assert rows["Failed due to timeout"] + rows["Failed due to out-of-memory"] > 0
+
+
+def test_bench_section51_time_statistics(campaign_result):
+    from statistics import mean, median
+
+    _, result = campaign_result
+    times = result.times()
+    print(
+        f"\nvalidation time: mean={mean(times):.4f}s median={median(times):.4f}s"
+    )
+    # The paper's mean/median ratio is ~187x; ours must at least show the
+    # same heavy right skew (mean >> median).
+    assert mean(times) > 4 * median(times)
+
+
+def test_bench_category_calibration(campaign_result):
+    """Every function lands in the outcome class its shape was designed
+    for — the corpus is a faithful, deterministic miniature of Figure 6."""
+    corpus, result = campaign_result
+    expected = {s.name: s.expect for s in corpus.functions}
+    mismatches = [
+        (o.function, expected[o.function], o.category)
+        for o in result.outcomes
+        if o.category != expected[o.function]
+    ]
+    assert mismatches == []

@@ -1,0 +1,98 @@
+"""Extension experiment: the paper's "ongoing work" (Section 1) —
+validating register allocation with the unchanged KEQ and a black-box VC
+generator.  Not a paper table; included as the DESIGN.md extension item.
+"""
+
+import pytest
+
+from repro.isel import select_function
+from repro.keq import Keq, KeqOptions, Verdict, default_acceptability
+from repro.llvm import parse_module
+from repro.regalloc import (
+    AllocatorBug,
+    allocate_registers,
+    eliminate_phis,
+    generate_regalloc_sync_points,
+)
+from repro.regalloc.vcgen import RegAllocVcError
+from repro.vx86.semantics import Vx86Semantics
+
+SOURCE = """
+define i32 @kernel(i32 %a, i32 %b, i32 %n) {
+entry:
+  %v0 = add i32 %a, %b
+  %v1 = shl i32 %a, 1
+  %v2 = xor i32 %a, %b
+  %v3 = and i32 %a, 255
+  %v4 = or i32 %b, 7
+  %v5 = sub i32 %a, %b
+  %v6 = mul i32 %a, 3
+  %v7 = add i32 %b, 11
+  %v8 = xor i32 %v0, %v1
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %acc = phi i32 [ %v8, %entry ], [ %acc2, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %t0 = add i32 %acc, %v2
+  %t1 = add i32 %t0, %v3
+  %t2 = add i32 %t1, %v4
+  %t3 = add i32 %t2, %v5
+  %t4 = add i32 %t3, %v6
+  %acc2 = add i32 %t4, %v7
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %acc
+}
+"""
+
+
+def _prepare(bug=None):
+    module = parse_module(SOURCE)
+    machine, _ = select_function(module, module.function("kernel"))
+    input_function = eliminate_phis(machine)
+    result = allocate_registers(input_function, bug=bug)
+    return input_function, result
+
+
+def test_bench_regalloc_validation(benchmark):
+    input_function, result = _prepare()
+
+    def run():
+        points = generate_regalloc_sync_points(input_function, result.function)
+        keq = Keq(
+            Vx86Semantics({input_function.name: input_function}),
+            Vx86Semantics({result.function.name: result.function}),
+            default_acceptability(),
+            KeqOptions(max_steps=20000, max_pair_checks=10000),
+        )
+        return keq.check_equivalence(points)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.verdict is Verdict.VALIDATED
+    assert result.spills, "the scenario must exercise spilling"
+
+
+def test_bench_regalloc_bug_refused(benchmark):
+    input_function, result = _prepare(bug=AllocatorBug.WRONG_SPILL_SLOT)
+
+    def run():
+        try:
+            points = generate_regalloc_sync_points(
+                input_function, result.function
+            )
+        except RegAllocVcError:
+            return Verdict.NOT_VALIDATED
+        keq = Keq(
+            Vx86Semantics({input_function.name: input_function}),
+            Vx86Semantics({result.function.name: result.function}),
+            default_acceptability(),
+            KeqOptions(max_steps=20000, max_pair_checks=10000),
+        )
+        return keq.check_equivalence(points).verdict
+
+    verdict = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verdict is Verdict.NOT_VALIDATED

@@ -1,0 +1,60 @@
+"""Experiment: paper Figures 2 and 3 — the running example.
+
+Regenerates the ISel output and the four synchronization points for
+``arithm_seq_sum``, and benchmarks the full validation pipeline on it.
+"""
+
+from repro.isel import select_function
+from repro.llvm import parse_module
+from repro.tv import validate_function
+from repro.vcgen import generate_sync_points
+
+
+def test_bench_figure2_isel(benchmark, arith_seq_sum_source):
+    """Lowering LLVM IR -> Virtual x86 (Figure 2(b))."""
+    module = parse_module(arith_seq_sum_source)
+    function = module.function("arithm_seq_sum")
+
+    machine, hints = benchmark(select_function, module, function)
+
+    # Figure 2(b) shape: 5 blocks, PHIs at the loop header, cmp+jcc, the
+    # materialized constant 1, return through eax.
+    assert len(machine.blocks) == 5
+    header = machine.block(hints.block_map["for.cond"])
+    assert sum(1 for i in header.instructions if i.opcode == "PHI") == 3
+    opcodes = [i.opcode for _, _, i in machine.instructions()]
+    assert "cmp" in opcodes and "jb" in opcodes and "mov" in opcodes
+
+
+def test_bench_figure3_sync_points(benchmark, arith_seq_sum_source):
+    """VC generation (Figure 3): p0/p1/p2/p3."""
+    module = parse_module(arith_seq_sum_source)
+    function = module.function("arithm_seq_sum")
+    machine, hints = select_function(module, function)
+
+    points = benchmark(generate_sync_points, module, function, machine, hints)
+
+    kinds = sorted(p.kind for p in points)
+    assert kinds == ["entry", "exit", "loop", "loop"]
+    by_kind = {p.kind: p for p in points}
+    # p0: the three arguments against edi/esi/edx.
+    entry_regs = [c.right.payload for c in by_kind["entry"].constraints]
+    assert entry_regs == ["rdi", "rsi", "rdx"]
+    # p1/p2: one loop point per predecessor of for.cond.
+    previous = sorted(
+        p.left.prev_block for p in points if p.kind == "loop"
+    )
+    assert previous == ["entry", "for.inc"]
+    print("\nReproduced Figure 3:")
+    for point in points:
+        print(point.describe())
+
+
+def test_bench_full_validation(benchmark, arith_seq_sum_source):
+    """End-to-end TV of the running example (ISel + VC gen + KEQ)."""
+    module = parse_module(arith_seq_sum_source)
+
+    outcome = benchmark(validate_function, module, "arithm_seq_sum")
+
+    assert outcome.ok
+    assert outcome.report.stats.points_checked == 3

@@ -1,0 +1,101 @@
+"""Experiment: paper Section 3 — the positive-form SMT query optimization.
+
+The paper observes that for deterministic systems, proving ``φ1 ⇒ φ2`` by
+refuting ``φ1 ∧ Ψ2`` (the disjunction of the sibling path conditions) is
+much cheaper for the solver than refuting ``φ1 ∧ ¬φ2``.  This bench runs
+KEQ over the same workload in both modes and compares solver effort, and
+also microbenchmarks the two query forms directly.
+"""
+
+import pytest
+
+from repro.isel import select_function
+from repro.keq import Keq, KeqOptions, Verdict, default_acceptability
+from repro.llvm import parse_module
+from repro.llvm.semantics import LlvmSemantics
+from repro.smt import Solver, t
+from repro.vcgen import generate_sync_points
+from repro.vx86.semantics import Vx86Semantics
+from repro.workloads import FunctionShape, generate_module
+
+
+@pytest.fixture(scope="module")
+def workload():
+    module = generate_module(
+        [
+            (
+                f"w{i}",
+                FunctionShape(loops=1, diamonds=2, ops_per_segment=6),
+                900 + i,
+            )
+            for i in range(6)
+        ]
+    )
+    prepared = []
+    for name, function in module.functions.items():
+        machine, hints = select_function(module, function)
+        points = generate_sync_points(module, function, machine, hints)
+        prepared.append((module, machine, points))
+    return prepared
+
+
+def _run(workload, use_positive_form):
+    total_conflicts = 0
+    verdicts = []
+    for module, machine, points in workload:
+        keq = Keq(
+            LlvmSemantics(module),
+            Vx86Semantics({machine.name: machine}),
+            default_acceptability(),
+            KeqOptions(use_positive_form=use_positive_form),
+        )
+        report = keq.check_equivalence(points)
+        verdicts.append(report.verdict)
+        total_conflicts += keq.solver.stats.conflicts
+    return verdicts, total_conflicts
+
+
+def test_bench_positive_form(benchmark, workload):
+    verdicts, conflicts = benchmark.pedantic(_run, args=(workload, True), rounds=1, iterations=1)
+    print(f"\npositive form: {conflicts} SAT conflicts")
+    assert all(v is Verdict.VALIDATED for v in verdicts)
+
+
+def test_bench_negative_form(benchmark, workload):
+    verdicts, conflicts = benchmark.pedantic(_run, args=(workload, False), rounds=1, iterations=1)
+    print(f"\nnegative form: {conflicts} SAT conflicts")
+    assert all(v is Verdict.VALIDATED for v in verdicts)
+
+
+def test_forms_agree_on_verdicts(workload):
+    positive, _ = _run(workload, True)
+    negative, _ = _run(workload, False)
+    assert positive == negative
+
+
+def test_bench_query_forms_directly(benchmark):
+    """Microbenchmark the two forms of one implication proof.
+
+    φ1: the LLVM side's loop-taken condition; φ2: the x86 side's; Ψ2 the
+    sibling (loop-exit) condition.  Both must prove; the positive form
+    avoids the negation.
+    """
+    i = t.bv_var("i", 32)
+    n = t.bv_var("n", 32)
+    k = t.bv_var("k", 32)
+    phi1 = t.and_(t.ult(i, n), t.ult(k, t.bv_const(7, 32)))
+    phi2 = t.and_(t.ult(i, n), t.ult(k, t.bv_const(7, 32)))
+    psi2 = t.or_(t.uge(i, n), t.uge(k, t.bv_const(7, 32)))
+
+    def both_forms():
+        positive = Solver()
+        negative = Solver()
+        assert positive.prove_implies_positive(phi1, [psi2])
+        assert negative.prove_implies(phi1, phi2)
+        return positive.stats.conflicts, negative.stats.conflicts
+
+    positive_conflicts, negative_conflicts = benchmark(both_forms)
+    print(
+        f"\nconflicts: positive={positive_conflicts}"
+        f" negative={negative_conflicts}"
+    )

@@ -1,0 +1,68 @@
+"""Reintroduced bug #2: load narrowing with non-power-of-two types (§5.2).
+
+llvm.org PR4737 (clang 2.6.x, -O2+): narrowing a ``load i96; lshr 64;
+trunc to i64`` chain erroneously emits an 8-byte load at offset 8 of a
+12-byte object — 4 bytes out of bounds, with garbage in the upper half.
+
+KEQ rejects the buggy translation because the x86 program branches into an
+out-of-bounds error state that no LLVM state matches; as the paper notes,
+the output does not even *refine* the input.
+
+Run:  python examples/bug_load_narrowing.py
+"""
+
+from repro.isel import BugMode, IselOptions, select_function
+from repro.llvm import parse_module
+from repro.tv import TvOptions, validate_function
+
+FIGURE_10 = """
+@a = external global i96, align 4
+@b = external global i64, align 8
+
+define void @foo() {
+entry:
+  %srcval = load i96, i96* @a, align 4
+  %tmp96 = lshr i96 %srcval, 64
+  %tmp64 = trunc i96 %tmp96 to i64
+  store i64 %tmp64, i64* @b, align 8
+  ret void
+}
+"""
+
+CONFIGURATIONS = [
+    (
+        "optimized correct translation (Figure 11a: movl + movzx)",
+        IselOptions(narrow_loads=True),
+    ),
+    (
+        "optimized INCORRECT translation (Figure 11b: movq, OOB)",
+        IselOptions(bug=BugMode.LOAD_NARROWING),
+    ),
+]
+
+
+def main() -> None:
+    module = parse_module(FIGURE_10)
+    print("LLVM input — paper Figure 10")
+    print(module.functions["foo"])
+    results = []
+    for label, isel_options in CONFIGURATIONS:
+        machine, _ = select_function(module, module.functions["foo"], isel_options)
+        print()
+        print("=" * 70)
+        print(label)
+        print("=" * 70)
+        print(machine)
+        outcome = validate_function(module, "foo", TvOptions(isel=isel_options))
+        print(f"--> {outcome}")
+        if outcome.report and outcome.report.failures:
+            for failure in outcome.report.failures:
+                print(f"    {failure}")
+        results.append(outcome.ok)
+    assert results == [True, False], results
+    print()
+    print("KEQ validated the correct translation and caught the OOB load.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Language-parametricity: validate a compiler for a brand-new language pair.
+
+The paper's central claim is that KEQ takes the two language semantics as
+*parameters*.  This example defines a small imperative language (IMP) and
+an operand-stack machine — neither shares anything with LLVM or x86 — a
+compiler between them, and a VC generator; then the *unchanged*
+``repro.keq.Keq`` validates compilations and refutes a hand-injected
+miscompilation.
+
+Run:  python examples/custom_language_pair.py
+"""
+
+from repro.imp import (
+    Assign,
+    BinExpr,
+    Const,
+    If,
+    ImpProgram,
+    ImpSemantics,
+    Return,
+    StackSemantics,
+    Var,
+    While,
+    compile_program,
+    generate_imp_sync_points,
+)
+from repro.keq import Keq
+
+
+def factorial_program() -> ImpProgram:
+    return ImpProgram(
+        name="factorial",
+        parameters=("n",),
+        body=(
+            Assign("acc", Const(1)),
+            Assign("i", Const(1)),
+            While(
+                BinExpr("<=", Var("i"), Var("n")),
+                (
+                    Assign("acc", BinExpr("*", Var("acc"), Var("i"))),
+                    Assign("i", BinExpr("+", Var("i"), Const(1))),
+                ),
+                label="main",
+            ),
+            Return(Var("acc")),
+        ),
+    )
+
+
+def main() -> None:
+    program = factorial_program()
+    compiled = compile_program(program)
+
+    print("IMP blocks (flattened):")
+    for name, instructions in program.blocks.items():
+        print(f"  {name}: {len(instructions)} instructions")
+    print()
+    print("Compiled stack-machine code:")
+    for name, code in compiled.blocks.items():
+        print(f"{name}:")
+        for instruction in code:
+            print(f"  {instruction}")
+
+    points = generate_imp_sync_points(program, compiled)
+    keq = Keq(
+        ImpSemantics({program.name: program}),
+        StackSemantics({program.name: compiled}),
+    )
+    report = keq.check_equivalence(points)
+    print()
+    print("KEQ on the correct compilation:")
+    print(report.summary())
+    assert report.ok
+
+    # Now inject a miscompilation: multiply by i+1 instead of i.
+    from repro.imp.stackm import StackInstr
+
+    broken = compile_program(program)
+    body = next(
+        code
+        for code in broken.blocks.values()
+        if any(i.op == "MUL" for i in code)
+    )
+    position = next(i for i, instr in enumerate(body) if instr.op == "MUL")
+    body[position:position] = [StackInstr("PUSH", 1), StackInstr("ADD")]
+    broken.depths.clear()
+    broken.verify()
+    points = generate_imp_sync_points(program, broken)
+    keq = Keq(
+        ImpSemantics({program.name: program}),
+        StackSemantics({program.name: broken}),
+    )
+    report = keq.check_equivalence(points)
+    print()
+    print("KEQ on the injected miscompilation (acc *= i+1):")
+    print(report.summary())
+    assert not report.ok
+    print()
+    print("Same checker, different languages — no KEQ changes required.")
+
+
+if __name__ == "__main__":
+    main()

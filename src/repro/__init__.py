@@ -1,0 +1,34 @@
+"""keq-repro: language-parametric compiler validation (ASPLOS 2021).
+
+A from-scratch reproduction of Kasampalis et al., "Language-Parametric
+Compiler Validation with Application to LLVM".  See README.md for the
+tour, DESIGN.md for the system inventory and substitutions, and
+EXPERIMENTS.md for paper-vs-measured results.
+
+The most useful entry points:
+
+>>> from repro.llvm import parse_module
+>>> from repro.tv import validate_function
+>>> outcome = validate_function(parse_module(source), "my_function")
+
+and, for a custom language pair, :class:`repro.keq.Keq` with two
+:class:`repro.semantics.Semantics` implementations.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "imp",
+    "isel",
+    "keq",
+    "llvm",
+    "memory",
+    "regalloc",
+    "semantics",
+    "smt",
+    "tv",
+    "vcgen",
+    "vx86",
+    "workloads",
+]

@@ -1,0 +1,20 @@
+"""Static analyses over both IRs: CFG views, dominators, natural loops,
+and live-variable analysis (precise and deliberately-imprecise variants)."""
+
+from repro.analysis.cfg import FlowGraph, LlvmGraph, MachineGraph
+from repro.analysis.dominators import dominator_tree, dominators
+from repro.analysis.loops import Loop, natural_loops, loop_headers
+from repro.analysis.liveness import LivenessResult, liveness
+
+__all__ = [
+    "FlowGraph",
+    "LivenessResult",
+    "LlvmGraph",
+    "Loop",
+    "MachineGraph",
+    "dominator_tree",
+    "dominators",
+    "liveness",
+    "loop_headers",
+    "natural_loops",
+]

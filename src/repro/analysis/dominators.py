@@ -1,0 +1,98 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import FlowGraph
+
+
+def _reverse_postorder(graph: FlowGraph) -> list[str]:
+    visited: set[str] = set()
+    order: list[str] = []
+
+    def visit(node: str) -> None:
+        stack = [(node, iter(graph.successors(node)))]
+        visited.add(node)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(graph.entry())
+    order.reverse()
+    return order
+
+
+def dominator_tree(graph: FlowGraph) -> dict[str, str | None]:
+    """Immediate dominators; the entry maps to ``None``.  Unreachable
+    blocks are absent from the result."""
+    order = _reverse_postorder(graph)
+    index = {name: i for i, name in enumerate(order)}
+    predecessors = graph.predecessors()
+    entry = graph.entry()
+    idom: dict[str, str | None] = {entry: entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            candidates = [
+                p for p in predecessors[node] if p in idom and p in index
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = _intersect(new_idom, other, idom, index)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    result: dict[str, str | None] = {}
+    for node, parent in idom.items():
+        result[node] = None if node == entry else parent
+    return result
+
+
+def _intersect(
+    a: str, b: str, idom: dict[str, str | None], index: dict[str, int]
+) -> str:
+    while a != b:
+        while index[a] > index[b]:
+            a = idom[a]
+        while index[b] > index[a]:
+            b = idom[b]
+    return a
+
+
+def dominators(graph: FlowGraph) -> dict[str, set[str]]:
+    """Full dominator sets, derived from the immediate-dominator tree."""
+    tree = dominator_tree(graph)
+    result: dict[str, set[str]] = {}
+
+    def collect(node: str) -> set[str]:
+        if node in result:
+            return result[node]
+        parent = tree[node]
+        if parent is None:
+            doms = {node}
+        else:
+            doms = {node} | collect(parent)
+        result[node] = doms
+        return doms
+
+    for node in tree:
+        collect(node)
+    return result
+
+
+def dominates(doms: dict[str, set[str]], a: str, b: str) -> bool:
+    """Does ``a`` dominate ``b``?"""
+    return a in doms.get(b, set())

@@ -1,0 +1,104 @@
+"""Backward live-variable analysis over the generic CFG view.
+
+SSA phi handling follows the usual convention: a phi's incoming value is a
+use *on the edge* from the corresponding predecessor — it is live out of
+that predecessor, not live into the phi's own block.  What the VC
+generator consumes is :meth:`LivenessResult.edge_live`: the names that
+must be related at a loop-entry synchronization point reached via a
+specific predecessor (the paper's per-predecessor points, Section 4.5).
+
+``imprecise=True`` re-creates the deficiency the paper reports for 16 GCC
+functions ("an inaccuracy in our liveness analysis, that resulted in a
+mismatch of LLVM and Virtual x86 live registers"): phi incoming values
+are *over*-approximated as live on every in-edge, so the x86 side lists
+registers whose LLVM counterparts are not live on that edge, producing
+inadequate synchronization points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import FlowGraph
+
+
+@dataclass
+class LivenessResult:
+    live_in: dict[str, set[str]] = field(default_factory=dict)
+    live_out: dict[str, set[str]] = field(default_factory=dict)
+    #: (predecessor, block) -> names live across that edge, with phi
+    #: incoming names substituted for phi results.
+    _edge: dict[tuple[str, str], set[str]] = field(default_factory=dict)
+
+    def edge_live(self, predecessor: str, block: str) -> set[str]:
+        return self._edge.get((predecessor, block), set())
+
+
+def liveness(graph: FlowGraph, imprecise: bool = False) -> LivenessResult:
+    blocks = graph.block_names()
+    predecessors = graph.predecessors()
+
+    # Per-block upward-exposed uses and defs (phis handled separately).
+    gen: dict[str, set[str]] = {}
+    kill: dict[str, set[str]] = {}
+    for block in blocks:
+        uses_here: set[str] = set()
+        defs_here: set[str] = set()
+        for phi in graph.phi_defs(block):
+            defs_here.add(phi.name)
+        for uses, defs in graph.instruction_uses_defs(block):
+            uses_here |= uses - defs_here
+            defs_here |= defs
+        gen[block] = uses_here
+        kill[block] = defs_here
+
+    # Phi incoming uses, attributed to the source edge.
+    phi_edge_uses: dict[tuple[str, str], set[str]] = {}
+    for block in blocks:
+        for phi in graph.phi_defs(block):
+            for predecessor, incoming in phi.incomings:
+                if incoming is not None:
+                    phi_edge_uses.setdefault((predecessor, block), set()).add(
+                        incoming
+                    )
+
+    live_in: dict[str, set[str]] = {block: set() for block in blocks}
+    live_out: dict[str, set[str]] = {block: set() for block in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            out: set[str] = set()
+            for successor in graph.successors(block):
+                out |= live_in[successor]
+                if imprecise:
+                    # Over-approximate: treat every phi incoming of the
+                    # successor as live, regardless of which edge it is for.
+                    for phi in graph.phi_defs(successor):
+                        out |= {
+                            name for _, name in phi.incomings if name is not None
+                        }
+                else:
+                    out |= phi_edge_uses.get((block, successor), set())
+            new_in = gen[block] | (out - kill[block])
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block] = out
+                live_in[block] = new_in
+                changed = True
+
+    result = LivenessResult(live_in, live_out)
+    for block in blocks:
+        for predecessor in predecessors[block]:
+            names = set(live_in[block])
+            # Drop phi results (not yet defined on the edge), add the
+            # incoming names for this specific predecessor.
+            for phi in graph.phi_defs(block):
+                names.discard(phi.name)
+            names |= phi_edge_uses.get((predecessor, block), set())
+            if imprecise:
+                for phi in graph.phi_defs(block):
+                    names |= {
+                        name for _, name in phi.incomings if name is not None
+                    }
+            result._edge[(predecessor, block)] = names
+    return result

@@ -1,0 +1,48 @@
+"""Natural-loop detection via back edges (target dominates source)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import FlowGraph
+from repro.analysis.dominators import dominates, dominators
+
+
+@dataclass
+class Loop:
+    header: str
+    body: set[str] = field(default_factory=set)  # includes the header
+    back_edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def contains(self, block: str) -> bool:
+        return block in self.body
+
+
+def natural_loops(graph: FlowGraph) -> list[Loop]:
+    """One :class:`Loop` per header (back edges to a header are merged)."""
+    doms = dominators(graph)
+    predecessors = graph.predecessors()
+    loops: dict[str, Loop] = {}
+    for source in graph.block_names():
+        if source not in doms:
+            continue  # unreachable
+        for target in graph.successors(source):
+            if dominates(doms, target, source):
+                loop = loops.setdefault(target, Loop(target, {target}))
+                loop.back_edges.append((source, target))
+                _collect_body(loop, source, predecessors)
+    return [loops[header] for header in sorted(loops)]
+
+
+def _collect_body(loop: Loop, latch: str, predecessors: dict[str, list[str]]):
+    stack = [latch]
+    while stack:
+        node = stack.pop()
+        if node in loop.body:
+            continue
+        loop.body.add(node)
+        stack.extend(predecessors[node])
+
+
+def loop_headers(graph: FlowGraph) -> list[str]:
+    return [loop.header for loop in natural_loops(graph)]

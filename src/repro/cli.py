@@ -1,0 +1,167 @@
+"""Command-line driver (the paper artifact's ``run-tests.py`` analogue).
+
+Usage::
+
+    python -m repro single FILE.ll [--function NAME] [options]
+    python -m repro show FILE.ll [--function NAME] [options]
+    python -m repro campaign [--scale N] [--seed N]
+
+``single`` validates one function end to end; ``show`` prints the ISel
+output and the generated synchronization points; ``campaign`` reruns the
+Figure 6/7 evaluation on the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.isel import BugMode, IselOptions, select_function
+from repro.keq import KeqOptions
+from repro.llvm import parse_module
+from repro.tv import TvOptions, validate_function
+from repro.tv.batch import run_corpus
+from repro.vcgen import generate_sync_points
+from repro.workloads import gcc_like_corpus
+
+
+def _isel_options(args) -> IselOptions:
+    bug = None
+    if args.bug == "waw":
+        bug = BugMode.WAW_STORE_MERGE
+    elif args.bug == "narrow":
+        bug = BugMode.LOAD_NARROWING
+    return IselOptions(
+        merge_stores=args.merge_stores, narrow_loads=args.narrow_loads, bug=bug
+    )
+
+
+def _tv_options(args) -> TvOptions:
+    return TvOptions(
+        isel=_isel_options(args),
+        keq=KeqOptions(max_steps=args.max_steps),
+        imprecise_liveness=args.imprecise_liveness,
+    )
+
+
+def _pick_function(module, name):
+    if name:
+        return module.function(name)
+    if len(module.functions) != 1:
+        raise SystemExit(
+            "module has several functions; pick one with --function "
+            f"(available: {', '.join(module.functions)})"
+        )
+    return next(iter(module.functions.values()))
+
+
+def cmd_single(args) -> int:
+    module = parse_module(open(args.file).read())
+    function = _pick_function(module, args.function)
+    options = _tv_options(args)
+    if args.proof:
+        options.keq.record_proof = True
+        # Reuse the pipeline pieces so the Keq instance is accessible.
+        from repro.keq import Keq, default_acceptability
+        from repro.keq.proof import ProofChecker
+        from repro.llvm.semantics import LlvmSemantics
+        from repro.vx86.semantics import Vx86Semantics
+
+        machine, hints = select_function(module, function, options.isel)
+        points = generate_sync_points(module, function, machine, hints)
+        keq = Keq(
+            LlvmSemantics(module),
+            Vx86Semantics({machine.name: machine}),
+            default_acceptability(),
+            options.keq,
+        )
+        report = keq.check_equivalence(points)
+        print(report.summary())
+        if keq.last_proof is not None:
+            print()
+            print(keq.last_proof.render())
+            outcome = ProofChecker().check(keq.last_proof)
+            print(f"proof re-check: ok={outcome.ok}"
+                  f" ({outcome.obligations_checked} obligations)")
+        return 0 if report.ok else 1
+    outcome = validate_function(module, function.name, options)
+    print(outcome)
+    if outcome.report is not None:
+        print(outcome.report.summary())
+    return 0 if outcome.ok else 1
+
+
+def cmd_show(args) -> int:
+    module = parse_module(open(args.file).read())
+    function = _pick_function(module, args.function)
+    machine, hints = select_function(module, function, _isel_options(args))
+    print(function)
+    print()
+    print(machine)
+    print()
+    points = generate_sync_points(
+        module, function, machine, hints,
+        imprecise_liveness=args.imprecise_liveness,
+    )
+    for point in points:
+        print(point.describe())
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    corpus = gcc_like_corpus(scale=args.scale, seed=args.seed)
+    print(f"validating {len(corpus.functions)} functions...")
+    result = run_corpus(
+        corpus, TvOptions.for_campaign(wall_budget_seconds=args.wall_budget)
+    )
+    print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--function", help="function name (default: the only one)")
+        p.add_argument("--merge-stores", action="store_true")
+        p.add_argument("--narrow-loads", action="store_true")
+        p.add_argument("--bug", choices=["waw", "narrow"])
+        p.add_argument("--imprecise-liveness", action="store_true")
+        p.add_argument("--max-steps", type=int, default=4000)
+        p.add_argument(
+            "--proof",
+            action="store_true",
+            help="record and re-check a machine-checkable equivalence proof",
+        )
+
+    single = sub.add_parser("single", help="validate one function")
+    single.add_argument("file")
+    add_common(single)
+    single.set_defaults(run=cmd_single)
+
+    show = sub.add_parser("show", help="print ISel output and sync points")
+    show.add_argument("file")
+    add_common(show)
+    show.set_defaults(run=cmd_show)
+
+    campaign = sub.add_parser("campaign", help="rerun the Figure 6/7 evaluation")
+    campaign.add_argument("--scale", type=int, default=120)
+    campaign.add_argument("--seed", type=int, default=2021)
+    campaign.add_argument(
+        "--wall-budget",
+        type=float,
+        default=30.0,
+        help="per-function wall-clock limit in seconds (paper: 3 hours)",
+    )
+    campaign.set_defaults(run=cmd_campaign)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""A second language pair: IMP and a stack machine.
+
+The paper's headline claim is that KEQ is *language-parametric*: the
+checker takes the two operational semantics as inputs and contains no
+LLVM- or x86-specific code.  This package substantiates the claim inside
+the reproduction: a small imperative language (IMP), an operand-stack
+machine, a compiler between them, and a VC generator — after which the
+*unchanged* :class:`repro.keq.Keq` validates the compilation.  (The paper
+makes the same point with its ongoing register-allocation work; here we
+pick a pair as far from LLVM/x86 as possible.)
+"""
+
+from repro.imp.lang import (
+    Assign,
+    BinExpr,
+    Const,
+    If,
+    ImpProgram,
+    ImpSemantics,
+    Return,
+    Var,
+    While,
+    imp_entry_state,
+)
+from repro.imp.stackm import StackInstr, StackProgram, StackSemantics, stack_entry_state
+from repro.imp.compiler import compile_program, generate_imp_sync_points
+from repro.imp.parser import ImpParseError, parse_imp
+
+__all__ = [
+    "Assign",
+    "BinExpr",
+    "Const",
+    "If",
+    "ImpProgram",
+    "ImpSemantics",
+    "Return",
+    "StackInstr",
+    "StackProgram",
+    "StackSemantics",
+    "Var",
+    "While",
+    "ImpParseError",
+    "compile_program",
+    "generate_imp_sync_points",
+    "parse_imp",
+    "imp_entry_state",
+    "stack_entry_state",
+]

@@ -1,0 +1,158 @@
+"""A compiler from IMP to the stack machine, plus its VC generator.
+
+The compiler is straightforward (expressions to postfix stack code,
+statements block-by-block with shared block names) and, like ISel, emits
+the two hints a TV system needs: the block correspondence (identity by
+construction) and the variable correspondence (identity: IMP variables
+compile to machine locals of the same name).
+
+``generate_imp_sync_points`` then produces entry/exit/loop-header points —
+after which the *unchanged* :class:`repro.keq.Keq` proves compilations
+correct.
+"""
+
+from __future__ import annotations
+
+from repro.imp import lang
+from repro.imp.lang import BinExpr, Const, Expr, ImpProgram, Var
+from repro.imp.stackm import StackInstr, StackProgram
+from repro.keq.syncpoints import EqConstraint, Expr as CExpr, StateSpec, SyncPoint, SyncPointSet
+from repro.semantics.state import Location
+
+_EXPR_OPS = {"+": "ADD", "-": "SUB", "*": "MUL"}
+_COMPARE_OPS = {"<": "LT", "<=": "LE", "==": "EQ", "!=": "NE"}
+
+
+class CompileError(Exception):
+    pass
+
+
+def _compile_expr(expr: Expr, out: list[StackInstr]) -> None:
+    if isinstance(expr, Const):
+        out.append(StackInstr("PUSH", expr.value))
+    elif isinstance(expr, Var):
+        out.append(StackInstr("LOAD", expr.name))
+    elif isinstance(expr, BinExpr):
+        _compile_expr(expr.lhs, out)
+        _compile_expr(expr.rhs, out)
+        if expr.op in _EXPR_OPS:
+            out.append(StackInstr(_EXPR_OPS[expr.op]))
+        elif expr.op in _COMPARE_OPS:
+            out.append(StackInstr(_COMPARE_OPS[expr.op]))
+        else:
+            raise CompileError(f"unknown operator {expr.op}")
+    else:
+        raise CompileError(f"unknown expression {expr!r}")
+
+
+def compile_program(program: ImpProgram) -> StackProgram:
+    """Compile the flattened IMP blocks 1:1 into stack-machine blocks."""
+    target = StackProgram(program.name, program.parameters)
+    for block_name, instructions in program.blocks.items():
+        code: list[StackInstr] = []
+        for instruction in instructions:
+            if isinstance(instruction, lang._FlatAssign):
+                _compile_expr(instruction.value, code)
+                code.append(StackInstr("STORE", instruction.name))
+            elif isinstance(instruction, lang._FlatReturn):
+                _compile_expr(instruction.value, code)
+                code.append(StackInstr("RET"))
+            elif isinstance(instruction, lang._FlatBranch):
+                if instruction.condition is None:
+                    code.append(StackInstr("JMP", instruction.true_target))
+                else:
+                    # IMP takes the true branch on non-zero; JMPZ jumps on
+                    # zero, so the zero target is the *false* block.
+                    _compile_expr(instruction.condition, code)
+                    code.append(StackInstr("JMPZ", instruction.false_target))
+                    code.append(StackInstr("JMP", instruction.true_target))
+            else:
+                raise CompileError(f"unknown instruction {instruction!r}")
+        target.blocks[block_name] = code
+    target.verify()
+    return target
+
+
+def _live_variables(program: ImpProgram, block: str) -> set[str]:
+    """Variables read anywhere at-or-after ``block`` (a sound, simple
+    over-approximation of liveness for the constraint sets)."""
+    # Collect reads across reachable blocks from `block`.
+    reachable: set[str] = set()
+    frontier = [block]
+    while frontier:
+        current = frontier.pop()
+        if current in reachable:
+            continue
+        reachable.add(current)
+        for instruction in program.blocks[current]:
+            if isinstance(instruction, lang._FlatBranch):
+                frontier.append(instruction.true_target)
+                if instruction.false_target:
+                    frontier.append(instruction.false_target)
+    names: set[str] = set()
+
+    def walk_expr(expr: Expr) -> None:
+        if isinstance(expr, Var):
+            names.add(expr.name)
+        elif isinstance(expr, BinExpr):
+            walk_expr(expr.lhs)
+            walk_expr(expr.rhs)
+
+    for current in reachable:
+        for instruction in program.blocks[current]:
+            if isinstance(instruction, lang._FlatAssign):
+                walk_expr(instruction.value)
+            elif isinstance(instruction, lang._FlatReturn):
+                walk_expr(instruction.value)
+            elif isinstance(instruction, lang._FlatBranch):
+                if instruction.condition is not None:
+                    walk_expr(instruction.condition)
+    return names
+
+
+def generate_imp_sync_points(
+    program: ImpProgram, compiled: StackProgram
+) -> SyncPointSet:
+    """Entry/exit/loop-header synchronization points for one compilation."""
+    points = SyncPointSet()
+    width = lang.WIDTH
+    points.add(
+        SyncPoint(
+            name="q_entry",
+            kind="entry",
+            left=StateSpec.at(Location(program.name, "entry", 0)),
+            right=StateSpec.at(Location(compiled.name, "entry", 0)),
+            constraints=tuple(
+                EqConstraint(CExpr.env(p, width), CExpr.env(p, width))
+                for p in program.parameters
+            ),
+            check_memory=False,
+        )
+    )
+    points.add(
+        SyncPoint(
+            name="q_exit",
+            kind="exit",
+            left=StateSpec.exit(),
+            right=StateSpec.exit(),
+            constraints=(EqConstraint(CExpr.ret(width), CExpr.ret(width)),),
+            check_memory=False,
+            executable=False,
+        )
+    )
+    for label, header in program.loop_headers.items():
+        live = sorted(_live_variables(program, header))
+        constraints = tuple(
+            EqConstraint(CExpr.env(v, width), CExpr.env(v, width)) for v in live
+        )
+        points.add(
+            SyncPoint(
+                name=f"q_loop_{label}",
+                kind="loop",
+                left=StateSpec.at(Location(program.name, header, 0)),
+                right=StateSpec.at(Location(compiled.name, header, 0)),
+                constraints=constraints,
+                check_memory=False,
+            )
+        )
+    return points

@@ -1,0 +1,267 @@
+"""IMP: a small structured imperative language with a symbolic semantics.
+
+Programs are ASTs (assignments, if/else, while, return over 32-bit integer
+expressions).  For execution the AST is flattened into labeled basic
+blocks at construction time, so program points fit the common
+:class:`~repro.semantics.state.Location` shape and KEQ can synchronize on
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory import Memory
+from repro.semantics.state import Location, ProgramState, StatusKind, Value
+from repro.smt import terms as t
+from repro.smt.terms import Term
+
+WIDTH = 32
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    op: str  # + - * < <= == !=
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+_ARITH = {"+": t.add, "-": t.sub, "*": t.mul}
+_COMPARE = {"<": t.slt, "<=": t.sle, "==": t.eq, "!=": t.ne}
+
+
+def eval_expr(expr: Expr, env) -> Term:
+    """Evaluate to a 32-bit term (comparisons give 0/1)."""
+    if isinstance(expr, Const):
+        return t.bv_const(expr.value, WIDTH)
+    if isinstance(expr, Var):
+        value = env[expr.name]
+        assert isinstance(value, Term)
+        return value
+    if isinstance(expr, BinExpr):
+        lhs = eval_expr(expr.lhs, env)
+        rhs = eval_expr(expr.rhs, env)
+        if expr.op in _ARITH:
+            return _ARITH[expr.op](lhs, rhs)
+        return t.bool_to_bv(_COMPARE[expr.op](lhs, rhs), WIDTH)
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def expr_condition(expr: Expr, env) -> Term:
+    """Evaluate as a boolean (non-zero is true)."""
+    if isinstance(expr, BinExpr) and expr.op in _COMPARE:
+        return _COMPARE[expr.op](eval_expr(expr.lhs, env), eval_expr(expr.rhs, env))
+    return t.ne(eval_expr(expr, env), t.zero(WIDTH))
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr
+    body: tuple[Stmt, ...]
+    label: str = ""  # loop name used for synchronization points
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr
+
+
+# -- flattened form ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FlatAssign:
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class _FlatBranch:
+    condition: Expr  # None -> unconditional
+    true_target: str
+    false_target: str | None
+
+
+@dataclass(frozen=True)
+class _FlatReturn:
+    value: Expr
+
+
+@dataclass
+class ImpProgram:
+    """A program: named parameters + a statement body, flattened on build."""
+
+    name: str
+    parameters: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    blocks: dict[str, list] = field(default_factory=dict)
+    #: loop label -> header block name (for VC generation)
+    loop_headers: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        flattener = _Flattener(self)
+        flattener.run(self.body)
+
+
+class _Flattener:
+    def __init__(self, program: ImpProgram):
+        self.program = program
+        self.counter = 0
+        self.current: list | None = None
+
+    def new_block(self, hint: str) -> str:
+        self.counter += 1
+        name = f"{hint}{self.counter}"
+        self.program.blocks[name] = []
+        return name
+
+    def run(self, body: tuple[Stmt, ...]) -> None:
+        self.program.blocks["entry"] = []
+        self.current = self.program.blocks["entry"]
+        self.emit_body(body)
+        # Implicit `return 0` if control falls off the end.
+        self.current.append(_FlatReturn(Const(0)))
+
+    def emit_body(self, body: tuple[Stmt, ...]) -> None:
+        for statement in body:
+            self.emit(statement)
+
+    def emit(self, statement: Stmt) -> None:
+        if isinstance(statement, Assign):
+            self.current.append(_FlatAssign(statement.name, statement.value))
+        elif isinstance(statement, Return):
+            self.current.append(_FlatReturn(statement.value))
+            dead = self.new_block("dead")
+            self.current = self.program.blocks[dead]
+        elif isinstance(statement, If):
+            then_name = self.new_block("then")
+            else_name = self.new_block("else")
+            join_name = self.new_block("join")
+            self.current.append(
+                _FlatBranch(statement.condition, then_name, else_name)
+            )
+            self.current = self.program.blocks[then_name]
+            self.emit_body(statement.then_body)
+            self.current.append(_FlatBranch(None, join_name, None))
+            self.current = self.program.blocks[else_name]
+            self.emit_body(statement.else_body)
+            self.current.append(_FlatBranch(None, join_name, None))
+            self.current = self.program.blocks[join_name]
+        elif isinstance(statement, While):
+            header = self.new_block("while")
+            body_name = self.new_block("body")
+            after = self.new_block("after")
+            if statement.label:
+                self.program.loop_headers[statement.label] = header
+            self.current.append(_FlatBranch(None, header, None))
+            self.current = self.program.blocks[header]
+            self.current.append(_FlatBranch(statement.condition, body_name, after))
+            self.current = self.program.blocks[body_name]
+            self.emit_body(statement.body)
+            self.current.append(_FlatBranch(None, header, None))
+            self.current = self.program.blocks[after]
+        else:
+            raise TypeError(f"unknown statement {statement!r}")
+
+
+def imp_entry_state(program: ImpProgram) -> ProgramState:
+    env: dict[str, Value] = {
+        name: t.bv_var(f"imp_{name}", WIDTH) for name in program.parameters
+    }
+    return ProgramState(
+        location=Location(program.name, "entry", 0),
+        env=env,
+        memory=Memory.create([]),
+    )
+
+
+class ImpSemantics:
+    """IMP's symbolic small-step semantics (a ``Semantics`` instance)."""
+
+    language_name = "imp"
+    deterministic = True
+
+    def __init__(self, programs: dict[str, ImpProgram]):
+        self.programs = programs
+
+    def step(self, state: ProgramState) -> list[ProgramState]:
+        if state.status is not StatusKind.RUNNING:
+            return []
+        location = state.location
+        assert location is not None
+        program = self.programs[location.function]
+        instruction = program.blocks[location.block][location.index]
+        if isinstance(instruction, _FlatAssign):
+            value = eval_expr(instruction.value, state.env)
+            return [state.bind(instruction.name, value).advanced()]
+        if isinstance(instruction, _FlatReturn):
+            return [state.exited(eval_expr(instruction.value, state.env))]
+        if isinstance(instruction, _FlatBranch):
+            if instruction.condition is None:
+                return [
+                    state.at(
+                        Location(location.function, instruction.true_target, 0),
+                        prev_block=location.block,
+                    )
+                ]
+            condition = expr_condition(instruction.condition, state.env)
+            taken = state.assuming(condition).at(
+                Location(location.function, instruction.true_target, 0),
+                prev_block=location.block,
+            )
+            not_taken = state.assuming(t.not_(condition)).at(
+                Location(location.function, instruction.false_target, 0),
+                prev_block=location.block,
+            )
+            return [s for s in (taken, not_taken) if s.is_feasible_syntactically]
+        raise TypeError(f"unknown flat instruction {instruction!r}")

@@ -1,0 +1,191 @@
+"""A small textual front end for IMP.
+
+Grammar (whitespace-insensitive, ``#`` comments)::
+
+    program   := "def" NAME "(" params ")" "{" stmt* "}"
+    stmt      := NAME "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" [NAME] "(" expr ")" block      # optional loop label
+               | "return" expr ";"
+    block     := "{" stmt* "}"
+    expr      := cmp
+    cmp       := sum (("<" | "<=" | "==" | "!=") sum)?
+    sum       := term (("+" | "-") term)*
+    term      := atom ("*" atom)*
+    atom      := NUMBER | NAME | "(" expr ")"
+
+Example::
+
+    def sum(n) {
+        i = 0; acc = 0;
+        while main (i < n) { acc = acc + i; i = i + 1; }
+        return acc;
+    }
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.imp.lang import Assign, BinExpr, Const, Expr, If, ImpProgram, Return, Stmt, Var, While
+
+
+class ImpParseError(Exception):
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|==|!=|[<>+\-*=(){};,])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"def", "if", "else", "while", "return"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ImpParseError(f"unexpected character {text[position]!r}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.index]
+
+    def next(self) -> tuple[str, str]:
+        token = self.tokens[self.index]
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, value: str) -> str:
+        kind, text = self.next()
+        if text != value:
+            raise ImpParseError(f"expected {value!r}, found {text!r}")
+        return text
+
+    def accept(self, value: str) -> bool:
+        if self.peek()[1] == value:
+            self.next()
+            return True
+        return False
+
+    def name(self) -> str:
+        kind, text = self.next()
+        if kind != "name" or text in _KEYWORDS:
+            raise ImpParseError(f"expected a name, found {text!r}")
+        return text
+
+    # -- grammar ------------------------------------------------------------
+
+    def program(self) -> ImpProgram:
+        self.expect("def")
+        function_name = self.name()
+        self.expect("(")
+        parameters: list[str] = []
+        if not self.accept(")"):
+            parameters.append(self.name())
+            while self.accept(","):
+                parameters.append(self.name())
+            self.expect(")")
+        body = self.block()
+        if self.peek()[0] != "eof":
+            raise ImpParseError(f"trailing input at {self.peek()[1]!r}")
+        return ImpProgram(function_name, tuple(parameters), tuple(body))
+
+    def block(self) -> list[Stmt]:
+        self.expect("{")
+        statements: list[Stmt] = []
+        while not self.accept("}"):
+            statements.append(self.statement())
+        return statements
+
+    def statement(self) -> Stmt:
+        kind, text = self.peek()
+        if text == "return":
+            self.next()
+            value = self.expression()
+            self.expect(";")
+            return Return(value)
+        if text == "if":
+            self.next()
+            self.expect("(")
+            condition = self.expression()
+            self.expect(")")
+            then_body = self.block()
+            else_body: list[Stmt] = []
+            if self.accept("else"):
+                else_body = self.block()
+            return If(condition, tuple(then_body), tuple(else_body))
+        if text == "while":
+            self.next()
+            label = ""
+            if self.peek()[1] != "(":
+                label = self.name()
+            self.expect("(")
+            condition = self.expression()
+            self.expect(")")
+            body = self.block()
+            return While(condition, tuple(body), label=label)
+        target = self.name()
+        self.expect("=")
+        value = self.expression()
+        self.expect(";")
+        return Assign(target, value)
+
+    def expression(self) -> Expr:
+        left = self.sum()
+        operator = self.peek()[1]
+        if operator in ("<", "<=", "==", "!="):
+            self.next()
+            return BinExpr(operator, left, self.sum())
+        return left
+
+    def sum(self) -> Expr:
+        left = self.term()
+        while self.peek()[1] in ("+", "-"):
+            operator = self.next()[1]
+            left = BinExpr(operator, left, self.term())
+        return left
+
+    def term(self) -> Expr:
+        left = self.atom()
+        while self.peek()[1] == "*":
+            self.next()
+            left = BinExpr("*", left, self.atom())
+        return left
+
+    def atom(self) -> Expr:
+        kind, text = self.next()
+        if kind == "number":
+            return Const(int(text))
+        if kind == "name" and text not in _KEYWORDS:
+            return Var(text)
+        if text == "(":
+            inner = self.expression()
+            self.expect(")")
+            return inner
+        raise ImpParseError(f"expected an atom, found {text!r}")
+
+
+def parse_imp(text: str) -> ImpProgram:
+    """Parse one IMP function definition."""
+    return _Parser(text).program()

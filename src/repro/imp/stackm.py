@@ -1,0 +1,181 @@
+"""An operand-stack machine (the IMP compiler's target language).
+
+Instructions: ``PUSH c``, ``LOAD v``, ``STORE v``, binary ALU ops popping
+two operands, conditional ``JMPZ`` (pop, jump when zero), ``JMP``, and
+``RET`` (pop).  Like JVM bytecode, stack depths are static: a verification
+pass computes the depth at every instruction, and the symbolic semantics
+keys stack slots as ``stk<depth>`` environment entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory import Memory
+from repro.semantics.state import Location, ProgramState, StatusKind, Value
+from repro.smt import terms as t
+from repro.smt.terms import Term
+
+WIDTH = 32
+
+_ALU = {
+    "ADD": t.add,
+    "SUB": t.sub,
+    "MUL": t.mul,
+}
+
+_COMPARE = {
+    "LT": t.slt,
+    "LE": t.sle,
+    "EQ": t.eq,
+    "NE": t.ne,
+}
+
+
+@dataclass(frozen=True)
+class StackInstr:
+    op: str
+    operand: object = None  # int for PUSH, name for LOAD/STORE, label for jumps
+
+    def __str__(self) -> str:
+        if self.operand is None:
+            return self.op
+        return f"{self.op} {self.operand}"
+
+
+class StackVerifyError(Exception):
+    pass
+
+
+@dataclass
+class StackProgram:
+    name: str
+    parameters: tuple[str, ...]
+    blocks: dict[str, list[StackInstr]] = field(default_factory=dict)
+    #: (block, index) -> operand-stack depth before that instruction.
+    depths: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def verify(self) -> None:
+        """Compute static stack depths; reject inconsistent programs."""
+        entry = next(iter(self.blocks))
+        pending = [(entry, 0)]
+        block_entry_depth: dict[str, int] = {}
+        while pending:
+            block, depth = pending.pop()
+            known = block_entry_depth.get(block)
+            if known is not None:
+                if known != depth:
+                    raise StackVerifyError(
+                        f"{block}: inconsistent entry depths {known} vs {depth}"
+                    )
+                continue
+            block_entry_depth[block] = depth
+            for index, instruction in enumerate(self.blocks[block]):
+                self.depths[(block, index)] = depth
+                op = instruction.op
+                if op == "PUSH" or op == "LOAD":
+                    depth += 1
+                elif op == "STORE" or op == "JMPZ" or op == "RET":
+                    if depth < 1:
+                        raise StackVerifyError(f"{block}[{index}]: stack underflow")
+                    depth -= 1
+                elif op in _ALU or op in _COMPARE:
+                    if depth < 2:
+                        raise StackVerifyError(f"{block}[{index}]: stack underflow")
+                    depth -= 1
+                elif op == "JMP":
+                    pass
+                else:
+                    raise StackVerifyError(f"unknown opcode {op}")
+                if op == "JMPZ":
+                    pending.append((instruction.operand, depth))
+                elif op == "JMP":
+                    pending.append((instruction.operand, depth))
+                    break
+                elif op == "RET":
+                    break
+
+    def depth_at(self, block: str, index: int) -> int:
+        return self.depths[(block, index)]
+
+
+def _slot(depth: int) -> str:
+    return f"stk{depth}"
+
+
+def stack_entry_state(program: StackProgram) -> ProgramState:
+    env: dict[str, Value] = {
+        name: t.bv_var(f"imp_{name}", WIDTH) for name in program.parameters
+    }
+    entry = next(iter(program.blocks))
+    return ProgramState(
+        location=Location(program.name, entry, 0),
+        env=env,
+        memory=Memory.create([]),
+    )
+
+
+class StackSemantics:
+    """The stack machine's symbolic semantics (a ``Semantics`` instance)."""
+
+    language_name = "stackm"
+    deterministic = True
+
+    def __init__(self, programs: dict[str, StackProgram]):
+        self.programs = programs
+        for program in programs.values():
+            if not program.depths:
+                program.verify()
+
+    def step(self, state: ProgramState) -> list[ProgramState]:
+        if state.status is not StatusKind.RUNNING:
+            return []
+        location = state.location
+        assert location is not None
+        program = self.programs[location.function]
+        instruction = program.blocks[location.block][location.index]
+        depth = program.depth_at(location.block, location.index)
+        op = instruction.op
+        if op == "PUSH":
+            value = t.bv_const(instruction.operand, WIDTH)
+            return [state.bind(_slot(depth), value).advanced()]
+        if op == "LOAD":
+            return [
+                state.bind(_slot(depth), state.lookup(instruction.operand)).advanced()
+            ]
+        if op == "STORE":
+            value = state.lookup(_slot(depth - 1))
+            return [state.bind(instruction.operand, value).advanced()]
+        if op in _ALU:
+            lhs = state.lookup(_slot(depth - 2))
+            rhs = state.lookup(_slot(depth - 1))
+            assert isinstance(lhs, Term) and isinstance(rhs, Term)
+            return [state.bind(_slot(depth - 2), _ALU[op](lhs, rhs)).advanced()]
+        if op in _COMPARE:
+            lhs = state.lookup(_slot(depth - 2))
+            rhs = state.lookup(_slot(depth - 1))
+            assert isinstance(lhs, Term) and isinstance(rhs, Term)
+            result = t.bool_to_bv(_COMPARE[op](lhs, rhs), WIDTH)
+            return [state.bind(_slot(depth - 2), result).advanced()]
+        if op == "JMPZ":
+            top = state.lookup(_slot(depth - 1))
+            assert isinstance(top, Term)
+            zero = t.eq(top, t.zero(WIDTH))
+            taken = state.assuming(zero).at(
+                Location(location.function, instruction.operand, 0),
+                prev_block=location.block,
+            )
+            fallthrough = state.assuming(t.not_(zero)).advanced()
+            return [
+                s for s in (taken, fallthrough) if s.is_feasible_syntactically
+            ]
+        if op == "JMP":
+            return [
+                state.at(
+                    Location(location.function, instruction.operand, 0),
+                    prev_block=location.block,
+                )
+            ]
+        if op == "RET":
+            return [state.exited(state.lookup(_slot(depth - 1)))]
+        raise ValueError(f"unknown opcode {op!r}")

@@ -1,0 +1,216 @@
+"""A compiler from IMP to LLVM IR, validated across the paradigm gap.
+
+IMP is an environment language (variables are abstract bindings); the
+compiled LLVM code is a memory language (each IMP variable lives in an
+``alloca`` slot, clang ``-O0`` style).  The synchronization points
+therefore relate an *environment* entry on one side to a *memory cell* on
+the other — the ``Expr.env`` / ``Expr.mem`` constraint pair — and the
+unchanged KEQ proves the compilation correct.
+
+This is the reproduction's third language pair for KEQ (after LLVM↔x86
+and IMP↔stack machine), chosen to show that the synchronization-point
+language spans heterogeneous state shapes, not just register files.
+"""
+
+from __future__ import annotations
+
+from repro.imp import lang
+from repro.imp.lang import BinExpr, Const, Expr, ImpProgram, Var
+from repro.keq.syncpoints import EqConstraint, Expr as CExpr, StateSpec, SyncPoint, SyncPointSet
+from repro.llvm import ir
+from repro.llvm.builder import FunctionBuilder
+from repro.llvm.types import IntType, i1, i32
+from repro.memory import MemoryObject
+from repro.semantics.state import Location
+
+_ARITH = {"+": "add", "-": "sub", "*": "mul"}
+_COMPARE = {"<": "slt", "<=": "sle", "==": "eq", "!=": "ne"}
+
+
+class ImpToLlvmError(Exception):
+    pass
+
+
+def _collect_variables(program: ImpProgram) -> list[str]:
+    names: set[str] = set(program.parameters)
+
+    def walk_expr(expr: Expr) -> None:
+        if isinstance(expr, Var):
+            names.add(expr.name)
+        elif isinstance(expr, BinExpr):
+            walk_expr(expr.lhs)
+            walk_expr(expr.rhs)
+
+    for instructions in program.blocks.values():
+        for instruction in instructions:
+            if isinstance(instruction, lang._FlatAssign):
+                names.add(instruction.name)
+                walk_expr(instruction.value)
+            elif isinstance(instruction, lang._FlatReturn):
+                walk_expr(instruction.value)
+            elif isinstance(instruction, lang._FlatBranch):
+                if instruction.condition is not None:
+                    walk_expr(instruction.condition)
+    return sorted(names)
+
+
+class _Compiler:
+    def __init__(self, program: ImpProgram, module: ir.Module):
+        self.program = program
+        self.builder = FunctionBuilder(
+            module,
+            program.name,
+            i32,
+            [(name, i32) for name in program.parameters],
+        )
+        self.slots: dict[str, ir.LocalRef] = {}
+
+    def slot_object(self, variable: str) -> str:
+        return f"stack.{self.program.name}.{variable}.slot"
+
+    def run(self) -> ir.Function:
+        builder = self.builder
+        variables = _collect_variables(self.program)
+        builder.block("entry")
+        for variable in variables:
+            self.slots[variable] = builder.alloca(i32, name=f"{variable}.slot")
+        for parameter in self.program.parameters:
+            builder.store(i32, builder.param(parameter), self.slots[parameter])
+        # Mirror the flattened IMP blocks under the same names; the IMP
+        # "entry" block body continues in LLVM's entry block.
+        first = True
+        for name, instructions in self.program.blocks.items():
+            if first:
+                first = False  # already in "entry"
+            else:
+                self.builder.block(name)
+            for instruction in instructions:
+                self._compile_instruction(instruction)
+        return builder.finish()
+
+    def _compile_instruction(self, instruction) -> None:
+        builder = self.builder
+        if isinstance(instruction, lang._FlatAssign):
+            value = self._compile_expr(instruction.value)
+            builder.store(i32, value, self.slots[instruction.name])
+        elif isinstance(instruction, lang._FlatReturn):
+            builder.ret(i32, self._compile_expr(instruction.value))
+        elif isinstance(instruction, lang._FlatBranch):
+            if instruction.condition is None:
+                builder.br(instruction.true_target)
+            else:
+                condition = self._compile_condition(instruction.condition)
+                builder.cond_br(
+                    condition, instruction.true_target, instruction.false_target
+                )
+        else:
+            raise ImpToLlvmError(f"unknown instruction {instruction!r}")
+
+    def _compile_expr(self, expr: Expr) -> ir.Operand:
+        builder = self.builder
+        if isinstance(expr, Const):
+            return ir.ConstInt(expr.value, i32)
+        if isinstance(expr, Var):
+            return builder.load(i32, self.slots[expr.name])
+        if isinstance(expr, BinExpr):
+            lhs = self._compile_expr(expr.lhs)
+            rhs = self._compile_expr(expr.rhs)
+            if expr.op in _ARITH:
+                return builder.binop(_ARITH[expr.op], i32, lhs, rhs)
+            flag = builder.icmp(_COMPARE[expr.op], i32, lhs, rhs)
+            return builder.cast("zext", flag, i1, i32)
+        raise ImpToLlvmError(f"unknown expression {expr!r}")
+
+    def _compile_condition(self, expr: Expr) -> ir.Operand:
+        builder = self.builder
+        if isinstance(expr, BinExpr) and expr.op in _COMPARE:
+            lhs = self._compile_expr(expr.lhs)
+            rhs = self._compile_expr(expr.rhs)
+            return builder.icmp(_COMPARE[expr.op], i32, lhs, rhs)
+        value = self._compile_expr(expr)
+        return builder.icmp("ne", i32, value, ir.ConstInt(0, i32))
+
+
+def compile_imp_to_llvm(
+    program: ImpProgram, module: ir.Module
+) -> tuple[ir.Function, dict[str, str]]:
+    """Compile; returns the function and the variable -> slot-object map."""
+    compiler = _Compiler(program, module)
+    function = compiler.run()
+    slot_map = {
+        variable: compiler.slot_object(variable)
+        for variable in compiler.slots
+    }
+    return function, slot_map
+
+
+def generate_cross_paradigm_sync_points(
+    program: ImpProgram,
+    function: ir.Function,
+    slot_map: dict[str, str],
+) -> SyncPointSet:
+    """Entry/exit/loop points relating IMP bindings to LLVM memory cells."""
+    width = lang.WIDTH
+    slot_objects = tuple(
+        MemoryObject(object_name, 4, kind="stack")
+        for object_name in sorted(slot_map.values())
+    )
+    points = SyncPointSet()
+    points.add(
+        SyncPoint(
+            name="x_entry",
+            kind="entry",
+            left=StateSpec.at(Location(program.name, "entry", 0)),
+            right=StateSpec.at(Location(function.name, "entry", 0)),
+            constraints=tuple(
+                EqConstraint(CExpr.env(p, width), CExpr.env(p, width))
+                for p in program.parameters
+            ),
+            memory_objects=slot_objects,
+            check_memory=False,
+        )
+    )
+    points.add(
+        SyncPoint(
+            name="x_exit",
+            kind="exit",
+            left=StateSpec.exit(),
+            right=StateSpec.exit(),
+            constraints=(EqConstraint(CExpr.ret(width), CExpr.ret(width)),),
+            memory_objects=slot_objects,
+            check_memory=False,
+            executable=False,
+        )
+    )
+    from repro.imp.compiler import _live_variables
+
+    for label, header in program.loop_headers.items():
+        live = sorted(_live_variables(program, header))
+        constraints = tuple(
+            EqConstraint(
+                CExpr.env(variable, width),
+                CExpr.mem(slot_map[variable], 0, width),
+            )
+            for variable in live
+        )
+        # Pin the LLVM side's alloca pointers (clang -O0 keeps one live
+        # pointer register per variable slot).
+        constraints += tuple(
+            EqConstraint(
+                CExpr.ptr(object_name),
+                CExpr.env(f"{variable}.slot", 64),
+            )
+            for variable, object_name in sorted(slot_map.items())
+        )
+        points.add(
+            SyncPoint(
+                name=f"x_loop_{label}",
+                kind="loop",
+                left=StateSpec.at(Location(program.name, header, 0)),
+                right=StateSpec.at(Location(function.name, header, 0)),
+                constraints=constraints,
+                memory_objects=slot_objects,
+                check_memory=False,
+            )
+        )
+    return points

@@ -1,0 +1,26 @@
+"""Instruction Selection: LLVM IR -> Virtual x86 (the paper's ISel, §4.1).
+
+``select_function`` performs the translation and simultaneously emits the
+*hints* the paper's TV system requires from the compiler (Section 4.5):
+the LLVM-register ↔ machine-register correspondence and the block/loop
+correspondence.  The hint surface is deliberately small — the paper's
+point is that the compiler-side addition is ~500 LoC with no formal
+methods content.
+
+Optimizations (store merging, load narrowing) are off by default,
+mirroring ``-O0`` SDISel; enabling them with a :class:`BugMode` reinjects
+one of the two real LLVM miscompilations studied in Section 5.2.
+"""
+
+from repro.isel.bugs import BugMode
+from repro.isel.hints import IselHints
+from repro.isel.lowering import IselError, IselOptions, select_function, select_module
+
+__all__ = [
+    "BugMode",
+    "IselError",
+    "IselHints",
+    "IselOptions",
+    "select_function",
+    "select_module",
+]

@@ -1,0 +1,25 @@
+"""Reintroduced real LLVM Instruction Selection bugs (paper Section 5.2)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class BugMode(enum.Enum):
+    """Which historical miscompilation to reinject.
+
+    ``WAW_STORE_MERGE`` — llvm.org PR25154 (clang 3.7.x, -O2/-O3): when
+    merging overlapping constant stores into a wider store, the merged
+    store is emitted at the position of the *last* store involved, moving
+    the earlier store's bytes past an intervening overlapping store and
+    reversing a write-after-write dependency.
+
+    ``LOAD_NARROWING`` — llvm.org PR4737 (clang 2.6.x, -O2+): when
+    narrowing a (load; lshr; trunc) chain over a non-power-of-two type,
+    the narrowed load is emitted at the *target type's* width instead of
+    the remaining-bits width, producing an out-of-bounds wide load and
+    garbage in the upper bytes.
+    """
+
+    WAW_STORE_MERGE = "waw-store-merge"
+    LOAD_NARROWING = "load-narrowing"

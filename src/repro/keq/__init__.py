@@ -1,0 +1,55 @@
+"""KEQ: the language-parametric program equivalence checker.
+
+The paper's core contribution, split into:
+
+- :mod:`repro.keq.transition` — cut transition systems (Definition 7.1),
+  cut-successors (Definition 7.3), traces;
+- :mod:`repro.keq.concrete` — Algorithm 1 in its concrete form, exactly as
+  printed in the paper (refutation-complete, Theorem 8.1);
+- :mod:`repro.keq.theory` — cut-abstract systems (Definition 7.5) and
+  brute-force (bi)simulation checks used to validate the algorithm
+  (Lemma 7.6) in property tests;
+- :mod:`repro.keq.syncpoints` — symbolic synchronization points
+  (Section 4.5): pairs of symbolic state templates plus equality
+  constraints over shared symbols;
+- :mod:`repro.keq.acceptability` — the acceptability relation, including
+  the error-state policy of Section 4.6;
+- :mod:`repro.keq.symbolic` — the symbolic variant of Algorithm 1 (KEQ
+  proper), parameterized by two :class:`~repro.semantics.Semantics`;
+- :mod:`repro.keq.report` — verdicts and statistics.
+"""
+
+from repro.keq.transition import CutTransitionSystem
+from repro.keq.concrete import check_cut_bisimulation, check_cut_simulation
+from repro.keq.theory import (
+    cut_abstract_system,
+    is_bisimulation,
+    is_cut,
+    is_simulation,
+)
+from repro.keq.syncpoints import EqConstraint, Expr, StateSpec, SyncPoint
+from repro.keq.acceptability import Acceptability, default_acceptability
+from repro.keq.symbolic import Keq, KeqOptions
+from repro.keq.report import CheckFailure, FailureReason, KeqReport, Verdict
+
+__all__ = [
+    "Acceptability",
+    "CheckFailure",
+    "CutTransitionSystem",
+    "EqConstraint",
+    "Expr",
+    "FailureReason",
+    "Keq",
+    "KeqOptions",
+    "KeqReport",
+    "StateSpec",
+    "SyncPoint",
+    "Verdict",
+    "check_cut_bisimulation",
+    "check_cut_simulation",
+    "cut_abstract_system",
+    "default_acceptability",
+    "is_bisimulation",
+    "is_cut",
+    "is_simulation",
+]

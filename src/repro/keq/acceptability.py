@@ -1,0 +1,66 @@
+"""The acceptability relation 𝒜 (paper Sections 2, 4.6).
+
+The theory is parameterized by a relation on states that the
+cut-bisimulation must stay inside.  Two ingredients matter operationally:
+
+1. the per-point equality constraints + the common-memory clause (these
+   live in the synchronization points themselves, which the TV system
+   trusts to be inside 𝒜 — paper Section 4, trust discussion);
+2. the *error-state policy*: a left-language (LLVM) error state is related
+   to **any** right-language state — undefined behaviour in the source
+   licenses anything in the target, making KEQ "automatically revert to
+   checking refinement" — while a right-language error state is related
+   only to a left error state of the same kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.semantics.state import ProgramState, StatusKind
+
+ErrorMatcher = Callable[[str, str], bool]
+
+
+def _same_kind(left_kind: str, right_kind: str) -> bool:
+    return left_kind == right_kind
+
+
+@dataclass
+class Acceptability:
+    """Error-state policy of the acceptability relation.
+
+    ``left_error_accepts_all`` — if True (paper default), a left error
+    state is acceptable against any right state.
+    ``error_matcher`` decides whether a right error kind is matched by a
+    left error kind.
+    """
+
+    left_error_accepts_all: bool = True
+    error_matcher: ErrorMatcher = field(default=_same_kind)
+
+    def left_error_accepted(self, left: ProgramState) -> bool:
+        return (
+            self.left_error_accepts_all and left.status is StatusKind.ERROR
+        )
+
+    def error_pair_related(self, left: ProgramState, right: ProgramState) -> bool:
+        """Both states are errors; are they related?"""
+        if left.status is not StatusKind.ERROR or right.status is not StatusKind.ERROR:
+            return False
+        assert left.error is not None and right.error is not None
+        return self.error_matcher(left.error.kind, right.error.kind)
+
+
+def default_acceptability() -> Acceptability:
+    """The LLVM/Virtual-x86 policy described in the paper."""
+    return Acceptability()
+
+
+def strict_acceptability() -> Acceptability:
+    """No special treatment of left errors: full bisimulation even on UB.
+
+    Used by tests/ablations to show why the paper's policy is needed.
+    """
+    return Acceptability(left_error_accepts_all=False)

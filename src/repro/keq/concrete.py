@@ -1,0 +1,92 @@
+"""Algorithm 1 of the paper, in its concrete (finite-state) form.
+
+``main`` checks whether a candidate relation ``P ⊆ C₁ × C₂`` is a
+cut-bisimulation: for each pair, both programs' cut-successors must pair up
+inside ``P``.  Per Theorem 8.1 the algorithm is refutation-complete — if it
+returns ``True`` the systems are cut-bisimilar with witness ``P`` (and
+therefore equivalent w.r.t. any acceptability relation containing ``P``).
+
+For cut-*simulation* (refinement), only the left system's successors need
+matching — the ``N₁`` restriction the paper describes under the algorithm
+listing.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.keq.transition import CutTransitionSystem
+
+Pair = tuple[Hashable, Hashable]
+
+
+def _check_pair(
+    left: CutTransitionSystem,
+    right: CutTransitionSystem,
+    relation: frozenset,
+    pair: Pair,
+    require_right_covered: bool,
+) -> bool:
+    """Function ``check`` of Algorithm 1 (with the colouring made explicit:
+    a successor is *black* iff it appears in some related pair)."""
+    p1, p2 = pair
+    n1 = left.cut_successors(p1)
+    n2 = right.cut_successors(p2)
+    black_left = {a for a in n1 for b in n2 if (a, b) in relation}
+    black_right = {b for b in n2 for a in n1 if (a, b) in relation}
+    if black_left != n1:
+        return False
+    if require_right_covered and black_right != n2:
+        return False
+    return True
+
+
+def check_cut_bisimulation(
+    left: CutTransitionSystem,
+    right: CutTransitionSystem,
+    relation: Iterable[Pair],
+) -> bool:
+    """``main`` of Algorithm 1: is ``relation`` a cut-bisimulation?"""
+    relation = frozenset(relation)
+    _validate_relation(left, right, relation)
+    return all(
+        _check_pair(left, right, relation, pair, require_right_covered=True)
+        for pair in relation
+    )
+
+
+def check_cut_simulation(
+    left: CutTransitionSystem,
+    right: CutTransitionSystem,
+    relation: Iterable[Pair],
+) -> bool:
+    """The ``N₁``-only variant: does ``right`` cut-simulate ``left``?"""
+    relation = frozenset(relation)
+    _validate_relation(left, right, relation)
+    return all(
+        _check_pair(left, right, relation, pair, require_right_covered=False)
+        for pair in relation
+    )
+
+
+def _validate_relation(
+    left: CutTransitionSystem, right: CutTransitionSystem, relation: frozenset
+) -> None:
+    for a, b in relation:
+        if a not in left.cuts or b not in right.cuts:
+            raise ValueError(
+                f"related pair ({a!r}, {b!r}) contains a non-cut state"
+            )
+
+
+def equivalent(
+    left: CutTransitionSystem,
+    right: CutTransitionSystem,
+    relation: Iterable[Pair],
+) -> bool:
+    """Definition 7.8 packaged: ``relation`` must be a cut-bisimulation and
+    relate the two initial states."""
+    relation = frozenset(relation)
+    if (left.initial, right.initial) not in relation:
+        return False
+    return check_cut_bisimulation(left, right, relation)

@@ -1,0 +1,150 @@
+"""Reference implementations of the Section 7 theory, for validating
+Algorithm 1 (they are deliberately brute-force and independent of
+:mod:`repro.keq.concrete`).
+
+- :func:`is_cut` — Definition 7.1 checked by graph reachability;
+- :func:`cut_abstract_system` — Definition 7.5;
+- :func:`is_bisimulation` / :func:`is_simulation` — classic (strong)
+  (bi)simulation on explicit systems, so Lemma 7.6 ("a cut-bisimulation on
+  T is a bisimulation on the cut-abstraction of T") becomes an executable
+  property.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.keq.transition import CutTransitionSystem
+
+State = Hashable
+Pair = tuple[State, State]
+
+
+def is_cut(system: CutTransitionSystem) -> bool:
+    """Definition 7.1: ``C`` is a cut for ``T``.
+
+    Checked as: the initial state is in ``C``, and from every cut state,
+    no execution can (a) terminate without re-entering ``C`` (in >= 1
+    step) or (b) loop forever through non-cut states.
+    """
+    if system.initial not in system.cuts:
+        return False
+    return all(_cut_for_state(system, state) for state in system.cuts)
+
+
+def _cut_for_state(system: CutTransitionSystem, start: State) -> bool:
+    """No complete trace from ``start`` avoids ``C`` after step 0."""
+    # Explore the non-cut-reachable region after one step.
+    frontier = [
+        successor
+        for successor in system.next_states(start)
+        if successor not in system.cuts
+    ]
+    visited: set = set(frontier)
+    region: set = set(frontier)
+    while frontier:
+        current = frontier.pop()
+        successors = system.next_states(current)
+        if not successors:
+            return False  # terminates outside the cut
+        for successor in successors:
+            if successor in system.cuts:
+                continue
+            if successor not in visited:
+                visited.add(successor)
+                region.add(successor)
+                frontier.append(successor)
+    # Any cycle inside the non-cut region is an infinite run avoiding C.
+    return not _has_cycle(system, region)
+
+
+def _has_cycle(system: CutTransitionSystem, region: set) -> bool:
+    colour: dict = {}
+
+    def visit(node) -> bool:
+        colour[node] = "grey"
+        for successor in system.next_states(node):
+            if successor not in region:
+                continue
+            mark = colour.get(successor)
+            if mark == "grey":
+                return True
+            if mark is None and visit(successor):
+                return True
+        colour[node] = "black"
+        return False
+
+    return any(visit(node) for node in region if node not in colour)
+
+
+def cut_abstract_system(system: CutTransitionSystem) -> CutTransitionSystem:
+    """Definition 7.5: ``(C, ξ, ⇝)`` with the cut-successor relation as
+    transitions (every state of the abstraction is a cut state)."""
+    transitions = {
+        state: set(system.cut_successors(state)) for state in system.cuts
+    }
+    return CutTransitionSystem(
+        states=frozenset(system.cuts),
+        initial=system.initial,
+        transitions=transitions,
+        cuts=frozenset(system.cuts),
+    )
+
+
+def is_simulation(
+    left: CutTransitionSystem,
+    right: CutTransitionSystem,
+    relation: Iterable[Pair],
+) -> bool:
+    """Classic strong simulation on explicit transition systems."""
+    relation = frozenset(relation)
+    for a, b in relation:
+        for a_next in left.next_states(a):
+            if not any(
+                (a_next, b_next) in relation for b_next in right.next_states(b)
+            ):
+                return False
+    return True
+
+
+def is_bisimulation(
+    left: CutTransitionSystem,
+    right: CutTransitionSystem,
+    relation: Iterable[Pair],
+) -> bool:
+    relation = frozenset(relation)
+    inverse = frozenset((b, a) for a, b in relation)
+    return is_simulation(left, right, relation) and is_simulation(
+        right, left, inverse
+    )
+
+
+def largest_cut_bisimulation(
+    left: CutTransitionSystem, right: CutTransitionSystem
+) -> frozenset:
+    """Greatest-fixpoint computation of ``~`` on the cut-abstractions.
+
+    Starts from ``C₁ × C₂`` and removes pairs violating the
+    cut-bisimulation conditions until stable.  Used by tests as an oracle
+    and by the Figure 4 example.
+    """
+    left_abs = cut_abstract_system(left)
+    right_abs = cut_abstract_system(right)
+    current = {(a, b) for a in left_abs.states for b in right_abs.states}
+    changed = True
+    while changed:
+        changed = False
+        for pair in list(current):
+            a, b = pair
+            forward = all(
+                any((a2, b2) in current for b2 in right_abs.next_states(b))
+                for a2 in left_abs.next_states(a)
+            )
+            backward = all(
+                any((a2, b2) in current for a2 in left_abs.next_states(a))
+                for b2 in right_abs.next_states(b)
+            )
+            if not (forward and backward):
+                current.discard(pair)
+                changed = True
+    return frozenset(current)

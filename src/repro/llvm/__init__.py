@@ -1,0 +1,53 @@
+"""LLVM IR subset: types, IR, textual parser, builder, and symbolic semantics.
+
+Covers the fragment the paper's prototype supports (Section 4.2): integer
+types (including non-power-of-two widths such as ``i96``), composite array
+and struct types, pointers, integer arithmetic/bitwise/comparison
+instructions, type casts (including ``inttoptr``/``ptrtoint``), control flow
+(``br``, ``call``, ``ret``, ``phi``), and memory operations (``load``,
+``store``, ``alloca``, ``getelementptr``).  Alignment is not modelled,
+matching the paper.
+"""
+
+from repro.llvm.types import (
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+    i1,
+    i8,
+    i16,
+    i32,
+    i64,
+    sizeof,
+)
+from repro.llvm.ir import Block, Function, GlobalVariable, Module
+from repro.llvm.parser import ParseError, parse_module
+from repro.llvm.builder import FunctionBuilder
+from repro.llvm.semantics import LlvmSemantics, entry_state
+
+__all__ = [
+    "ArrayType",
+    "Block",
+    "Function",
+    "FunctionBuilder",
+    "GlobalVariable",
+    "IntType",
+    "LlvmSemantics",
+    "Module",
+    "ParseError",
+    "PointerType",
+    "StructType",
+    "Type",
+    "VoidType",
+    "entry_state",
+    "i1",
+    "i16",
+    "i32",
+    "i64",
+    "i8",
+    "parse_module",
+    "sizeof",
+]

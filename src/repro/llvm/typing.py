@@ -1,0 +1,34 @@
+"""Result types of SSA values (shared by ISel and the VC generator)."""
+
+from __future__ import annotations
+
+from repro.llvm import ir
+from repro.llvm.types import IntType, PointerType, Type
+
+
+def value_types(function: ir.Function) -> dict[str, Type]:
+    """Type of every named SSA value (parameters and instruction results)."""
+    types: dict[str, Type] = dict(function.parameters)
+    for _, _, instruction in function.instructions():
+        name = instruction.name
+        if name is None:
+            continue
+        if isinstance(instruction, ir.BinOp):
+            types[name] = instruction.type
+        elif isinstance(instruction, ir.Icmp):
+            types[name] = IntType(1)
+        elif isinstance(instruction, ir.Phi):
+            types[name] = instruction.type
+        elif isinstance(instruction, ir.Select):
+            types[name] = instruction.type
+        elif isinstance(instruction, ir.Cast):
+            types[name] = instruction.to_type
+        elif isinstance(instruction, ir.Gep):
+            types[name] = PointerType(IntType(8))
+        elif isinstance(instruction, ir.Alloca):
+            types[name] = PointerType(instruction.allocated_type)
+        elif isinstance(instruction, ir.Load):
+            types[name] = instruction.type
+        elif isinstance(instruction, ir.Call):
+            types[name] = instruction.return_type
+    return types

@@ -1,0 +1,142 @@
+"""IR well-formedness verifier (a lightweight ``opt -verify`` analogue).
+
+Checked properties:
+
+- every block ends in exactly one terminator, with no terminator mid-block;
+- branch targets exist;
+- phi nodes appear only at block starts and cover exactly the block's
+  predecessors;
+- SSA: every local is defined once and dominated uses are not checked
+  (full dominance checking lives with the analyses) but *undefined* names
+  are rejected;
+- the entry block has no predecessors and no phis.
+"""
+
+from __future__ import annotations
+
+from repro.llvm import ir
+
+
+class VerificationError(Exception):
+    pass
+
+
+def verify_function(function: ir.Function) -> None:
+    if not function.blocks:
+        raise VerificationError(f"@{function.name}: no blocks")
+    defined: set[str] = {name for name, _ in function.parameters}
+    block_names = set(function.blocks)
+    for block in function.blocks.values():
+        if not block.instructions:
+            raise VerificationError(f"@{function.name}:{block.name}: empty block")
+        for index, instruction in enumerate(block.instructions):
+            is_last = index == len(block.instructions) - 1
+            if isinstance(instruction, ir.TERMINATORS) != is_last:
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: terminator misplaced"
+                    f" at index {index}"
+                )
+            if isinstance(instruction, ir.Phi) and not _in_phi_prefix(block, index):
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: phi after non-phi"
+                )
+            if instruction.name is not None:
+                if instruction.name in defined:
+                    raise VerificationError(
+                        f"@{function.name}: %{instruction.name} defined twice"
+                    )
+                defined.add(instruction.name)
+        for successor in block.successors():
+            if successor not in block_names:
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: branch to unknown"
+                    f" block {successor!r}"
+                )
+    predecessors = function.predecessors()
+    entry = function.entry_block
+    if predecessors[entry.name]:
+        raise VerificationError(f"@{function.name}: entry block has predecessors")
+    if entry.phis():
+        raise VerificationError(f"@{function.name}: entry block has phis")
+    for block in function.blocks.values():
+        expected = set(predecessors[block.name])
+        for phi in block.phis():
+            got = {predecessor for _, predecessor in phi.incomings}
+            if got != expected:
+                raise VerificationError(
+                    f"@{function.name}:{block.name}: phi %{phi.name} covers"
+                    f" {sorted(got)} but predecessors are {sorted(expected)}"
+                )
+    _check_uses(function, defined)
+
+
+def _in_phi_prefix(block: ir.Block, index: int) -> bool:
+    return all(
+        isinstance(instruction, ir.Phi)
+        for instruction in block.instructions[: index + 1]
+    )
+
+
+def _check_uses(function: ir.Function, defined: set[str]) -> None:
+    for block_name, _, instruction in function.instructions():
+        for used in _used_locals(instruction):
+            if used not in defined:
+                raise VerificationError(
+                    f"@{function.name}:{block_name}: use of undefined %{used}"
+                )
+
+
+def _used_locals(instruction: ir.Instruction) -> list[str]:
+    names: list[str] = []
+
+    def walk(operand: ir.Operand) -> None:
+        if isinstance(operand, ir.LocalRef):
+            names.append(operand.name)
+        elif isinstance(operand, ir.ConstGep):
+            walk(operand.pointer)
+            for index in operand.indices:
+                walk(index)
+        elif isinstance(operand, ir.ConstCast):
+            walk(operand.operand)
+
+    for operand in operands_of(instruction):
+        walk(operand)
+    return names
+
+
+def operands_of(instruction: ir.Instruction) -> list[ir.Operand]:
+    """All direct operands of an instruction (shared with the analyses)."""
+    if isinstance(instruction, ir.BinOp):
+        return [instruction.lhs, instruction.rhs]
+    if isinstance(instruction, ir.Icmp):
+        return [instruction.lhs, instruction.rhs]
+    if isinstance(instruction, ir.Phi):
+        return [value for value, _ in instruction.incomings]
+    if isinstance(instruction, ir.Select):
+        return [
+            instruction.condition,
+            instruction.true_value,
+            instruction.false_value,
+        ]
+    if isinstance(instruction, ir.Cast):
+        return [instruction.value]
+    if isinstance(instruction, ir.Gep):
+        return [instruction.pointer] + [value for _, value in instruction.indices]
+    if isinstance(instruction, ir.Load):
+        return [instruction.pointer]
+    if isinstance(instruction, ir.Store):
+        return [instruction.value, instruction.pointer]
+    if isinstance(instruction, ir.Call):
+        return [value for _, value in instruction.arguments]
+    if isinstance(instruction, ir.Br):
+        return [] if instruction.condition is None else [instruction.condition]
+    if isinstance(instruction, ir.Ret):
+        return [] if instruction.value is None else [instruction.value]
+    if isinstance(instruction, ir.Alloca):
+        return []
+    raise TypeError(f"unknown instruction {instruction!r}")
+
+
+def verify_module(module: ir.Module) -> None:
+    for function in module.functions.values():
+        verify_function(function)

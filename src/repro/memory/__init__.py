@@ -1,0 +1,27 @@
+"""Common memory model shared by the LLVM IR and Virtual x86 semantics.
+
+This is the reproduction of the paper's ``common.k`` (Section 4.4): a
+low-level, sequentially consistent, byte-addressable object memory used by
+*both* language semantics, which reduces the acceptability relation's memory
+clause to "the two memories are equal".
+"""
+
+from repro.memory.model import (
+    AccessError,
+    Memory,
+    MemoryObject,
+    ObjectMemory,
+    PointerValue,
+    interpret_pointer,
+    object_base_var,
+)
+
+__all__ = [
+    "AccessError",
+    "Memory",
+    "MemoryObject",
+    "ObjectMemory",
+    "PointerValue",
+    "interpret_pointer",
+    "object_base_var",
+]

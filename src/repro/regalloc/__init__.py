@@ -1,0 +1,37 @@
+"""Register allocation for Virtual x86, validated by the unchanged KEQ.
+
+The paper (Section 1) reports ongoing work applying KEQ — unchanged — to
+LLVM's register allocation pass, "with a VC generator that treats the
+allocator completely as a black box".  This package reproduces that
+second application:
+
+- :mod:`repro.regalloc.ssa_elim` — out-of-SSA transform (PHIs become
+  copies in predecessors);
+- :mod:`repro.regalloc.allocator` — a linear-scan register allocator with
+  spilling, plus two injectable bug modes;
+- :mod:`repro.regalloc.vcgen` — a *black-box* VC generator: it never looks
+  at the allocator's mapping.  It discovers the input-vreg ↔
+  output-location correspondence by symbolically co-executing both
+  programs along a fixed path to each loop header and matching value
+  terms — the inference approach of Necula's translation validation —
+  then emits ordinary synchronization points (spilled values via ``mem``
+  constraints).
+
+Both programs are Virtual x86, demonstrating KEQ on an identical-language
+pair (the third configuration after LLVM→x86 and IMP→stack machine).
+:mod:`repro.regalloc.peephole` is a second client of the same black-box
+pipeline — the VC generator validates it without knowing it exists.
+"""
+
+from repro.regalloc.ssa_elim import eliminate_phis
+from repro.regalloc.allocator import AllocatorBug, allocate_registers
+from repro.regalloc.peephole import copy_propagate
+from repro.regalloc.vcgen import generate_regalloc_sync_points
+
+__all__ = [
+    "AllocatorBug",
+    "allocate_registers",
+    "copy_propagate",
+    "eliminate_phis",
+    "generate_regalloc_sync_points",
+]

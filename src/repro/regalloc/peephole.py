@@ -1,0 +1,97 @@
+"""A peephole copy-propagation pass over Virtual x86 — and a second client
+of the black-box x86~x86 validation pipeline.
+
+The pass forward-propagates ``COPY`` results within a block (uses of the
+destination are rewritten to the source while the source is unchanged) and
+deletes copies that end up dead.  Because it preserves the CFG, the same
+inference-based VC generator used for register allocation validates it
+with zero changes — the point of making that generator transformation
+agnostic.
+
+``sloppy=True`` reinjects a classic peephole bug: propagation continues
+past a redefinition of the *source* register, using a stale value.
+"""
+
+from __future__ import annotations
+
+from repro.vx86.insns import (
+    MachineBlock,
+    MachineFunction,
+    MemRef,
+    MInstr,
+    PReg,
+    VReg,
+)
+
+
+def _reg_key(reg) -> object:
+    if isinstance(reg, VReg):
+        return ("v", reg.id, reg.width)
+    if isinstance(reg, PReg):
+        return ("p", reg.name)
+    return None
+
+
+def copy_propagate(function: MachineFunction, sloppy: bool = False) -> MachineFunction:
+    """Returns a new function with block-local copies propagated.
+
+    Only virtual-to-virtual ``COPY``s of equal width participate —
+    physical registers and width-changing copies are left alone.
+    """
+    result = MachineFunction(function.name)
+    result.frame_objects.update(function.frame_objects)
+    for block in function.blocks.values():
+        new_block = result.add_block(MachineBlock(block.name))
+        # Map: destination vreg key -> replacement operand.
+        replacements: dict[object, VReg] = {}
+        used_replacement: set[object] = set()
+        for instruction in block.instructions:
+            if instruction.opcode == "PHI":
+                new_block.instructions.append(instruction)
+                continue
+            operands = tuple(
+                self_sub(operand, replacements, used_replacement)
+                for operand in instruction.operands
+            )
+            rewritten = MInstr(instruction.opcode, operands, instruction.result)
+            # Kill mappings invalidated by this instruction's definition.
+            defined = _reg_key(instruction.result)
+            if defined is not None:
+                replacements.pop(defined, None)
+                if not sloppy:
+                    # Correct pass: also kill mappings whose SOURCE this
+                    # instruction redefines.  The sloppy variant keeps
+                    # propagating the stale source — the injected bug.
+                    stale = [
+                        destination
+                        for destination, source in replacements.items()
+                        if _reg_key(source) == defined
+                    ]
+                    for destination in stale:
+                        del replacements[destination]
+            if (
+                rewritten.opcode == "COPY"
+                and isinstance(rewritten.result, VReg)
+                and isinstance(rewritten.operands[0], VReg)
+                and rewritten.result.width == rewritten.operands[0].width
+            ):
+                replacements[_reg_key(rewritten.result)] = rewritten.operands[0]
+            new_block.instructions.append(rewritten)
+    return result
+
+
+def self_sub(operand, replacements, used_replacement):
+    key = _reg_key(operand)
+    if key is not None and key in replacements:
+        used_replacement.add(key)
+        return replacements[key]
+    if isinstance(operand, MemRef) and operand.base is not None:
+        base_key = _reg_key(operand.base)
+        if base_key in replacements:
+            return MemRef(
+                operand.width_bytes,
+                object=operand.object,
+                base=replacements[base_key],
+                disp=operand.disp,
+            )
+    return operand

@@ -1,0 +1,72 @@
+"""Out-of-SSA: replace PHI pseudo-instructions with predecessor copies.
+
+For each ``dst = PHI v1, B1, v2, B2, ...`` the transform inserts
+``dst = COPY vi`` (or ``mov`` for immediates) at the end of each
+predecessor ``Bi``, before its terminators, and removes the PHI.
+
+Parallel-copy hazards (lost-copy / swap problems) are avoided the simple
+way: each PHI first receives its value in a *fresh* temporary virtual
+register in the predecessor, and the temporaries are copied into the PHI
+destinations at the start of the successor block.  This costs a move but
+is obviously correct — and KEQ gets to *prove* it, which is the point.
+"""
+
+from __future__ import annotations
+
+from repro.vx86.insns import Imm, Label, MachineBlock, MachineFunction, MInstr, VReg
+
+
+def _max_vreg_id(function: MachineFunction) -> int:
+    highest = -1
+    for _, _, instruction in function.instructions():
+        operands = list(instruction.operands)
+        if instruction.result is not None:
+            operands.append(instruction.result)
+        for operand in operands:
+            if isinstance(operand, VReg):
+                highest = max(highest, operand.id)
+    return highest
+
+
+def _insert_before_terminators(block: MachineBlock, new: list[MInstr]) -> None:
+    position = next(
+        (
+            index
+            for index, instruction in enumerate(block.instructions)
+            if instruction.is_terminator
+        ),
+        len(block.instructions),
+    )
+    block.instructions[position:position] = new
+
+
+def eliminate_phis(function: MachineFunction) -> MachineFunction:
+    """Destructively convert ``function`` out of SSA; returns it."""
+    counter = _max_vreg_id(function) + 1
+    for block in list(function.blocks.values()):
+        phis = block.phis()
+        if not phis:
+            continue
+        # One temporary per PHI.
+        temporaries: list[VReg] = []
+        for phi in phis:
+            assert isinstance(phi.result, VReg)
+            temporaries.append(VReg(counter, phi.result.width))
+            counter += 1
+        # Predecessor copies into the temporaries (parallel-copy safe).
+        for phi, temporary in zip(phis, temporaries):
+            operands = phi.operands
+            for value, label in zip(operands[0::2], operands[1::2]):
+                assert isinstance(label, Label)
+                predecessor = function.block(label.name)
+                opcode = "mov" if isinstance(value, Imm) else "COPY"
+                _insert_before_terminators(
+                    predecessor, [MInstr(opcode, (value,), temporary)]
+                )
+        # Replace the PHIs with copies out of the temporaries.
+        replacement = [
+            MInstr("COPY", (temporary,), phi.result)
+            for phi, temporary in zip(phis, temporaries)
+        ]
+        block.instructions[0 : len(phis)] = replacement
+    return function

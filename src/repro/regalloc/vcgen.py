@@ -1,0 +1,390 @@
+"""Black-box VC generation for register allocation.
+
+The allocator is treated as completely opaque (the paper, Section 1: "a VC
+generator that treats the allocator completely as a black box (i.e., has
+no knowledge of the allocation algorithm)").  The input-vreg ↔
+output-location correspondence needed for the loop-entry synchronization
+points is *inferred*:
+
+1. pick one simple path from the function entry to each (loop header,
+   predecessor) edge — the allocator preserves the CFG, so the same block
+   path exists in both programs;
+2. symbolically co-execute both programs along that path from one shared
+   initial state (same argument-register symbols, same memory);
+3. at the header, every live input virtual register holds some value
+   term; scan the output state's physical registers and spill slots for
+   the *same* term — that location is the value's home on this edge.
+
+The discovered homes become ordinary synchronization-point constraints
+(spill slots via ``Expr.mem``), and the unchanged KEQ does the rest.  If
+some live value's home cannot be found, generation fails — a false alarm,
+never an unsound pass (KEQ still has to prove everything).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import MachineGraph, liveness, natural_loops
+from repro.keq.syncpoints import EqConstraint, Expr, StateSpec, SyncPoint, SyncPointSet
+from repro.memory import Memory, MemoryObject, PointerValue
+from repro.semantics.state import Location, ProgramState, StatusKind
+from repro.smt import terms as t
+from repro.vx86.insns import GPR64, MachineFunction
+from repro.vx86.semantics import Vx86Semantics, machine_entry_state
+
+from repro.regalloc.allocator import ALLOCATABLE, SPILL_SLOT_BYTES
+
+
+class RegAllocVcError(Exception):
+    pass
+
+
+def _bfs_path(graph: MachineGraph, start: str, goal: str) -> list[str] | None:
+    if start == goal:
+        # A self-loop circuit, when the edge exists.
+        return [start, goal] if goal in graph.successors(start) else None
+    frontier = [[start]]
+    seen = {start}
+    while frontier:
+        path = frontier.pop(0)
+        node = path[-1]
+        if node == goal:
+            return path
+        for successor in graph.successors(node):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(path + [successor])
+    return None
+
+
+def _paths_to_edge(
+    graph: MachineGraph, predecessor: str, header: str
+) -> list[list[str]]:
+    """Inference paths entry -> ... -> predecessor -> header.
+
+    Returns the shortest path and, when the predecessor lies inside the
+    loop, the same path extended by one extra loop circuit.  Inferring
+    along *two* circuits and intersecting the candidate constraints
+    filters out coincidental value matches (constant-initialized loop
+    state makes everything equal on the first iteration).
+    """
+    entry = graph.entry()
+    base = _bfs_path(graph, entry, predecessor)
+    if base is None:
+        if entry == predecessor:
+            base = [entry]
+        else:
+            raise RegAllocVcError(f"no path from entry to {predecessor}")
+    first = base + [header]
+    paths = [first]
+    circuit = _bfs_path(graph, header, predecessor)
+    if circuit is not None:
+        # predecessor is inside the loop: go around once more.
+        paths.append(first + circuit[1:] + [header])
+    return paths
+
+
+def _execute_path(
+    semantics: Vx86Semantics, state: ProgramState, path: list[str]
+) -> ProgramState:
+    """Run ``state`` along the given block sequence, assuming branches."""
+    for next_block in path[1:]:
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 2000:
+                raise RegAllocVcError("path execution did not progress")
+            successors = [
+                s
+                for s in semantics.step(state)
+                if s.status is StatusKind.RUNNING
+            ]
+            if not successors:
+                raise RegAllocVcError("path execution halted early")
+            moved = [
+                s
+                for s in successors
+                if s.location.block == next_block
+                and s.prev_block == state.location.block
+                and s.location.index == 0
+            ]
+            stayed = [
+                s for s in successors if s.location.block == state.location.block
+            ]
+            if moved:
+                state = moved[0]
+                break
+            if not stayed:
+                raise RegAllocVcError(
+                    f"path step lost between {state.location.block} and {next_block}"
+                )
+            state = stayed[0]
+    return state
+
+
+def _location_keys(state: ProgramState):
+    """Environment keys that can serve as value homes: virtual registers
+    and allocatable physical registers."""
+    for key in state.env:
+        if key.startswith("vr") or key in ALLOCATABLE:
+            yield key
+
+
+def _home_of(
+    value_term,
+    output_state: ProgramState,
+    spill_object: str,
+    spill_slots: int,
+    width: int,
+    preferred_key: str | None = None,
+) -> Expr | None:
+    """Find where ``value_term`` lives in the output state (register —
+    virtual or physical — or spill slot)."""
+    if isinstance(value_term, PointerValue):
+        for key in sorted(_location_keys(output_state)):
+            if output_state.env.get(key) == value_term:
+                return Expr.env(key, 64)
+        return None
+    # Identity bias: a transformation that keeps the value in the same
+    # location should match it there, not in a coincidentally-equal one.
+    scan_order = sorted(_location_keys(output_state))
+    if preferred_key is not None and preferred_key in output_state.env:
+        scan_order = [preferred_key] + [
+            key for key in scan_order if key != preferred_key
+        ]
+    for key in scan_order:
+        held = output_state.env.get(key)
+        if held is None or isinstance(held, PointerValue):
+            continue
+        candidate = held if held.width == width else (
+            t.trunc(held, width) if held.width > width else None
+        )
+        if candidate is value_term:
+            return Expr.env(key, width)
+    if output_state.memory.has_object(spill_object):
+        for slot in range(spill_slots):
+            pointer = PointerValue(
+                spill_object, t.bv_const(slot * SPILL_SLOT_BYTES, 64)
+            )
+            held = output_state.memory.load(pointer, width // 8)
+            if held is value_term:
+                return Expr.mem(spill_object, slot * SPILL_SLOT_BYTES, width)
+    return None
+
+
+def _source_of(
+    held, input_state: ProgramState, input_live: list[str], register: str = ""
+):
+    """Which live input vreg (or constant) the output register holds."""
+    ordered = input_live
+    if register in input_live:
+        ordered = [register] + [key for key in input_live if key != register]
+    for key in ordered:
+        width = int(key.rsplit("_", 1)[1])
+        value = input_state.env.get(key)
+        if value is None:
+            continue
+        candidate = held if held.width == width else t.trunc(held, width)
+        if candidate is value:
+            return (key, width)
+    if held.is_const():
+        return (held.value, held.width)
+    # Also try the narrowed constant (a 64-bit register holding a 32-bit
+    # constant via the zeroing write rule).
+    narrowed = t.trunc(held, 32)
+    if narrowed.is_const():
+        return (narrowed.value, 32)
+    return None
+
+
+def source_constraint(source, register: str) -> EqConstraint:
+    payload, width = source
+    if isinstance(payload, str):
+        return EqConstraint(
+            Expr.env(payload, width), Expr.env(register, width)
+        )
+    return EqConstraint(
+        Expr.lit(payload, width), Expr.env(register, min(width, 64))
+    )
+
+
+def _infer_edge_constraints(
+    live,
+    output_live,
+    predecessor: str,
+    header: str,
+    input_state: ProgramState,
+    output_state: ProgramState,
+    spill_object: str,
+    spill_slots: int,
+) -> list[EqConstraint]:
+    constraints: list[EqConstraint] = []
+    input_live = sorted(
+        key
+        for key in live.edge_live(predecessor, header)
+        if key.startswith("vr")
+    )
+    # Direction 1: each live input vreg's value must have a home.
+    for key in input_live:
+        width = int(key.rsplit("_", 1)[1])
+        value = input_state.env.get(key)
+        if value is None:
+            raise RegAllocVcError(f"{key} not defined on inferred path")
+        home = _home_of(
+            value, output_state, spill_object, spill_slots, width,
+            preferred_key=key,
+        )
+        if home is None:
+            raise RegAllocVcError(
+                f"no home found for {key} at {header} via {predecessor}"
+            )
+        constraints.append(EqConstraint(Expr.env(key, width), home))
+    # Direction 2: each live *output* register must have a source — value
+    # matching alone cannot distinguish equal-valued registers, so the
+    # output side anchors every register it will read.
+    for register in sorted(
+        key
+        for key in output_live.edge_live(predecessor, header)
+        if key in ALLOCATABLE or key.startswith("vr")
+    ):
+        held = output_state.env.get(register)
+        if held is None or isinstance(held, PointerValue):
+            continue
+        source = _source_of(held, input_state, input_live, register)
+        if source is None:
+            raise RegAllocVcError(
+                f"no source for live register {register} at {header}"
+            )
+        constraints.append(source_constraint(source, register))
+    return constraints
+
+
+def generate_regalloc_sync_points(
+    input_function: MachineFunction,
+    output_function: MachineFunction,
+    global_objects: list[MemoryObject] | None = None,
+) -> SyncPointSet:
+    """Synchronization points for one allocation instance (black box)."""
+    global_objects = global_objects or []
+    input_objects = [
+        MemoryObject(name, size, kind="stack")
+        for name, size in input_function.frame_objects.items()
+    ]
+    spill_object = f"spill.{output_function.name}"
+    output_only = [
+        MemoryObject(name, size, kind="stack")
+        for name, size in output_function.frame_objects.items()
+        if name not in input_function.frame_objects
+    ]
+    template = tuple(global_objects + input_objects + output_only)
+    shared_names = tuple(
+        obj.name for obj in global_objects + input_objects
+    )
+    spill_slots = (
+        output_function.frame_objects.get(spill_object, 0) // SPILL_SLOT_BYTES
+    )
+
+    points = SyncPointSet()
+    input_graph = MachineGraph(input_function)
+    live = liveness(input_graph)
+    output_live = liveness(MachineGraph(output_function))
+
+    entry_constraints = tuple(
+        EqConstraint(Expr.env(reg, 64), Expr.env(reg, 64))
+        for reg in GPR64
+        if reg not in ("rsp", "rbp")
+    )
+    points.add(
+        SyncPoint(
+            name="r_entry",
+            kind="entry",
+            left=StateSpec.at(
+                Location(input_function.name, input_function.entry_block.name, 0)
+            ),
+            right=StateSpec.at(
+                Location(output_function.name, output_function.entry_block.name, 0)
+            ),
+            constraints=entry_constraints,
+            memory_objects=template,
+            memory_equal_objects=shared_names,
+        )
+    )
+    points.add(
+        SyncPoint(
+            name="r_exit",
+            kind="exit",
+            left=StateSpec.exit(),
+            right=StateSpec.exit(),
+            constraints=(EqConstraint(Expr.ret(64), Expr.ret(64)),),
+            memory_objects=template,
+            memory_equal_objects=shared_names,
+            executable=False,
+        )
+    )
+
+    # Loop-entry points with inferred constraints.
+    input_semantics = Vx86Semantics({input_function.name: input_function})
+    output_semantics = Vx86Semantics({output_function.name: output_function})
+    predecessors = input_graph.predecessors()
+    for loop in natural_loops(input_graph):
+        header = loop.header
+        for predecessor in predecessors[header]:
+            paths = _paths_to_edge(input_graph, predecessor, header)
+            per_path: list[list[EqConstraint]] = []
+            for path in paths:
+                shared_memory = Memory.create(list(template))
+                input_state = _execute_path(
+                    input_semantics,
+                    machine_entry_state(input_function, shared_memory),
+                    path,
+                )
+                output_state = _execute_path(
+                    output_semantics,
+                    machine_entry_state(output_function, shared_memory),
+                    path,
+                )
+                per_path.append(
+                    _infer_edge_constraints(
+                        live,
+                        output_live,
+                        predecessor,
+                        header,
+                        input_state,
+                        output_state,
+                        spill_object,
+                        spill_slots,
+                    )
+                )
+            # Keep only constraints every inference path agrees on.
+            constraints = [
+                c
+                for c in per_path[0]
+                if all(c in other for other in per_path[1:])
+            ]
+            # Sanity: every live input vreg must still have at least one
+            # constraint, else the inference failed.
+            constrained = {
+                c.left.payload for c in constraints if c.left.kind == "env"
+            }
+            for key in live.edge_live(predecessor, header):
+                if key.startswith("vr") and key not in constrained:
+                    raise RegAllocVcError(
+                        f"no stable home for {key} at {header} via {predecessor}"
+                    )
+            points.add(
+                SyncPoint(
+                    name=f"r_loop_{header}_from_{predecessor}",
+                    kind="loop",
+                    left=StateSpec.at(
+                        Location(input_function.name, header, 0),
+                        prev_block=predecessor,
+                    ),
+                    right=StateSpec.at(
+                        Location(output_function.name, header, 0),
+                        prev_block=predecessor,
+                    ),
+                    constraints=tuple(constraints),
+                    memory_objects=template,
+                    memory_equal_objects=shared_names,
+                )
+            )
+    return points

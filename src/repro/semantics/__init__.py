@@ -1,0 +1,30 @@
+"""Language-parametric operational semantics framework.
+
+This subpackage plays the role the K framework plays in the paper: it fixes
+a *shape* for program states and a protocol for "one symbolic execution
+step", and nothing else.  KEQ (:mod:`repro.keq`) is written purely against
+these interfaces — it never imports the LLVM or x86 semantics — which is the
+paper's headline language-parametricity property.
+"""
+
+from repro.semantics.state import (
+    CallMarker,
+    ErrorInfo,
+    Location,
+    ProgramState,
+    StatusKind,
+    Value,
+    value_term,
+)
+from repro.semantics.interface import Semantics
+
+__all__ = [
+    "CallMarker",
+    "ErrorInfo",
+    "Location",
+    "ProgramState",
+    "Semantics",
+    "StatusKind",
+    "Value",
+    "value_term",
+]

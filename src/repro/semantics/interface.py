@@ -1,0 +1,32 @@
+"""The ``Semantics`` protocol: what KEQ requires of a language definition.
+
+A language plugs into KEQ by supplying an object with:
+
+- ``language_name`` — for reports;
+- ``step(state)`` — the small-step symbolic transition function.  It returns
+  *all* successors of a running state; branching instructions return one
+  state per arm, each with the arm's condition conjoined to the path
+  condition.  Non-running states (exited / error / calling) return ``[]``.
+- ``deterministic`` — whether distinct successors have disjoint path
+  conditions (enables the paper's positive-form SMT optimization, §3).
+
+This is the entire coupling surface between the equivalence checker and a
+programming language — the reproduction's analogue of "KEQ takes the K
+semantics of the two languages as input".
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.semantics.state import ProgramState
+
+
+@runtime_checkable
+class Semantics(Protocol):
+    language_name: str
+    deterministic: bool
+
+    def step(self, state: ProgramState) -> list[ProgramState]:
+        """All symbolic successors of ``state`` (empty for halted states)."""
+        ...

@@ -1,0 +1,60 @@
+"""Concrete and bounded symbolic execution drivers.
+
+``run_concrete`` drives any :class:`~repro.semantics.Semantics` on a fully
+concrete state (path conditions stay literally ``true``); it is the
+interpreter the differential tests and examples use.  ``run_symbolic``
+explores all paths breadth-first up to a step bound.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.interface import Semantics
+from repro.semantics.state import ProgramState, StatusKind
+from repro.smt import terms as t
+
+
+class ExecutionError(Exception):
+    pass
+
+
+def run_concrete(
+    semantics: Semantics, state: ProgramState, max_steps: int = 500_000
+) -> ProgramState:
+    """Run to a halted state; raises if execution branches symbolically."""
+    current = state
+    for _ in range(max_steps):
+        successors = [
+            s for s in semantics.step(current) if s.path_condition is t.TRUE
+        ]
+        if not successors:
+            if current.status is StatusKind.RUNNING:
+                raise ExecutionError(
+                    f"state stuck (symbolic branch?) at {current.location}"
+                )
+            return current
+        if len(successors) > 1:
+            raise ExecutionError(
+                f"concrete execution branched at {current.location}"
+            )
+        current = successors[0]
+    raise ExecutionError(f"no halt within {max_steps} steps")
+
+
+def run_symbolic(
+    semantics: Semantics, state: ProgramState, max_steps: int = 10_000
+) -> list[ProgramState]:
+    """All halted states reachable within the step budget."""
+    halted: list[ProgramState] = []
+    frontier = [state]
+    steps = 0
+    while frontier:
+        current = frontier.pop()
+        successors = semantics.step(current)
+        if not successors:
+            halted.append(current)
+            continue
+        steps += len(successors)
+        if steps > max_steps:
+            raise ExecutionError(f"step budget {max_steps} exhausted")
+        frontier.extend(successors)
+    return halted

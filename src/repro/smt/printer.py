@@ -1,0 +1,68 @@
+"""SMT-LIB-flavoured pretty printing of terms (for reports and debugging)."""
+
+from __future__ import annotations
+
+from repro.smt.terms import BOOL, Term
+
+_INFIX = {
+    "add": "+",
+    "mul": "*",
+    "udiv": "/u",
+    "urem": "%u",
+    "sdiv": "/s",
+    "srem": "%s",
+    "bvand": "&",
+    "bvor": "|",
+    "bvxor": "^",
+    "shl": "<<",
+    "lshr": ">>u",
+    "ashr": ">>s",
+    "eq": "==",
+    "ult": "<u",
+    "slt": "<s",
+    "xorb": "xor",
+}
+
+
+def to_str(term: Term, max_depth: int = 12) -> str:
+    """Render a term as a compact infix string, eliding very deep subterms."""
+    if max_depth <= 0:
+        return "..."
+    if term.op == "bvconst":
+        return f"{term.value}:{term.width}"
+    if term.op == "boolconst":
+        return "true" if term.value else "false"
+    if term.is_var():
+        return term.name
+    depth = max_depth - 1
+    if term.op in _INFIX and len(term.args) == 2:
+        lhs, rhs = term.args
+        return f"({to_str(lhs, depth)} {_INFIX[term.op]} {to_str(rhs, depth)})"
+    if term.op in ("and", "or"):
+        sep = f" {term.op} "
+        return "(" + sep.join(to_str(arg, depth) for arg in term.args) + ")"
+    if term.op == "not":
+        return f"!{to_str(term.args[0], depth)}"
+    if term.op == "neg":
+        return f"-{to_str(term.args[0], depth)}"
+    if term.op == "bvnot":
+        return f"~{to_str(term.args[0], depth)}"
+    if term.op == "ite":
+        cond, then, other = term.args
+        return (
+            f"(if {to_str(cond, depth)} then {to_str(then, depth)}"
+            f" else {to_str(other, depth)})"
+        )
+    if term.op == "extract":
+        high, low = term.attr
+        return f"{to_str(term.args[0], depth)}[{high}:{low}]"
+    if term.op in ("zext", "sext"):
+        return f"{term.op}({to_str(term.args[0], depth)}, {term.attr[0]})"
+    if term.op == "concat":
+        return f"({to_str(term.args[0], depth)} ++ {to_str(term.args[1], depth)})"
+    inner = ", ".join(to_str(arg, depth) for arg in term.args)
+    return f"{term.op}({inner})"
+
+
+def sort_str(term: Term) -> str:
+    return "Bool" if term.sort is BOOL else f"i{term.width}"

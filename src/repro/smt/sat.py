@@ -1,0 +1,394 @@
+"""A CDCL SAT solver.
+
+This is the decision procedure at the bottom of the reproduction's SMT stack
+(the paper used Z3; see DESIGN.md Section 2).  Features:
+
+- two-watched-literal unit propagation;
+- first-UIP conflict analysis with clause learning and non-chronological
+  backjumping;
+- VSIDS-style branching activity with exponential decay (implemented via a
+  lazily-cleaned binary heap);
+- Luby-sequence restarts;
+- solving under assumptions (used by the solver façade to implement
+  ``prove`` queries without re-encoding shared structure);
+- a conflict budget so callers can emulate the paper's per-function
+  timeouts deterministically.
+
+Literals use the DIMACS convention: variables are positive integers and a
+negated literal is the negated integer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+
+UNASSIGNED = 0
+TRUE = 1
+FALSE = -1
+
+
+class SatResult(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # conflict budget exhausted
+
+
+def luby(index: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    ``index`` is 0-based.  This is the classic MiniSat formulation: find the
+    finite subsequence containing the index, then recurse into it.
+    """
+    size = 1
+    seq = 0
+    while size < index + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        seq -= 1
+        index %= size
+    return 1 << seq
+
+
+@dataclass
+class Stats:
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned: int = 0
+    restarts: int = 0
+    max_vars: int = 0
+
+
+@dataclass
+class _Clause:
+    literals: list[int]
+    learned: bool = False
+    activity: float = field(default=0.0)
+
+
+class SatSolver:
+    """CDCL solver over clauses added with :meth:`add_clause`."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: list[_Clause] = []
+        # watches[lit] = clauses watching literal `lit` (encoded index below)
+        self._watches: dict[int, list[_Clause]] = {}
+        self._assign: list[int] = [UNASSIGNED]  # 1-indexed by variable
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._prop_head = 0
+        self._activity: list[float] = [0.0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._heap: list[tuple[float, int]] = []
+        self._polarity: list[bool] = [False]
+        self._ok = True
+        self.stats = Stats()
+
+    # -- problem construction ------------------------------------------------
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        self._assign.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(False)
+        heapq.heappush(self._heap, (0.0, self._num_vars))
+        self.stats.max_vars = self._num_vars
+        return self._num_vars
+
+    def ensure_vars(self, count: int) -> None:
+        while self._num_vars < count:
+            self.new_var()
+
+    def add_clause(self, literals: list[int]) -> None:
+        """Add a clause; duplicate literals are removed, tautologies dropped."""
+        if not self._ok:
+            return
+        seen: set[int] = set()
+        unique: list[int] = []
+        for lit in literals:
+            self.ensure_vars(abs(lit))
+            if lit in seen:
+                continue
+            if -lit in seen:
+                return  # tautology
+            seen.add(lit)
+            unique.append(lit)
+        if not unique:
+            self._ok = False
+            return
+        if len(unique) == 1:
+            if not self._enqueue_root(unique[0]):
+                self._ok = False
+            return
+        clause = _Clause(unique)
+        self._clauses.append(clause)
+        self._watch(clause, unique[0])
+        self._watch(clause, unique[1])
+
+    def _enqueue_root(self, lit: int) -> bool:
+        """Assert a unit clause at decision level 0."""
+        value = self._value(lit)
+        if value == TRUE:
+            return True
+        if value == FALSE:
+            return False
+        self._assign_lit(lit, None)
+        return True
+
+    # -- assignment primitives ------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        if value == UNASSIGNED:
+            return UNASSIGNED
+        return value if lit > 0 else -value
+
+    def _assign_lit(self, lit: int, reason: _Clause | None) -> None:
+        var = abs(lit)
+        self._assign[var] = TRUE if lit > 0 else FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._polarity[var] = lit > 0
+        self._trail.append(lit)
+
+    def _watch(self, clause: _Clause, lit: int) -> None:
+        self._watches.setdefault(-lit, []).append(clause)
+
+    # -- propagation ------------------------------------------------------------
+
+    def _propagate(self) -> _Clause | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._prop_head < len(self._trail):
+            lit = self._trail[self._prop_head]
+            self._prop_head += 1
+            self.stats.propagations += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            kept: list[_Clause] = []
+            conflict: _Clause | None = None
+            index = 0
+            total = len(watchers)
+            while index < total:
+                clause = watchers[index]
+                index += 1
+                lits = clause.literals
+                # Ensure the falsified literal is at position 1.
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == TRUE:
+                    kept.append(clause)
+                    continue
+                # Search a new literal to watch.
+                moved = False
+                for slot in range(2, len(lits)):
+                    if self._value(lits[slot]) != FALSE:
+                        lits[1], lits[slot] = lits[slot], lits[1]
+                        self._watch(clause, lits[1])
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if self._value(first) == FALSE:
+                    conflict = clause
+                    kept.extend(watchers[index:total])
+                    break
+                self._assign_lit(first, clause)
+            self._watches[lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis --------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP analysis: learned clause + backjump level."""
+        current_level = len(self._trail_lim)
+        learned: list[int] = [0]  # slot 0 holds the asserting literal
+        seen: set[int] = set()
+        counter = 0
+        lit = 0
+        reason: _Clause | None = conflict
+        trail_index = len(self._trail) - 1
+        while True:
+            assert reason is not None, "conflict analysis reached a decision"
+            for other in reason.literals:
+                # Skip the literal this reason clause propagated (it is the
+                # negation of `lit`, i.e. the trail literal being resolved).
+                if other == -lit:
+                    continue
+                var = abs(other)
+                if var in seen or self._level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump_var(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(other)
+            # Find the next seen literal on the trail.
+            while abs(self._trail[trail_index]) not in seen:
+                trail_index -= 1
+            lit = -self._trail[trail_index]
+            var = abs(lit)
+            seen.discard(var)
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                learned[0] = lit
+                break
+            reason = self._reason[var]
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the learned clause.
+        best = 1
+        for slot in range(2, len(learned)):
+            if self._level[abs(learned[slot])] > self._level[abs(learned[best])]:
+                best = slot
+        learned[1], learned[best] = learned[best], learned[1]
+        return learned, self._level[abs(learned[1])]
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        boundary = self._trail_lim[level]
+        for lit in reversed(self._trail[boundary:]):
+            var = abs(lit)
+            self._assign[var] = UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._prop_head = len(self._trail)
+
+    # -- branching ------------------------------------------------------------------
+
+    def _pick_branch(self) -> int:
+        while self._heap:
+            neg_activity, var = heapq.heappop(self._heap)
+            if self._assign[var] != UNASSIGNED:
+                continue
+            if -neg_activity != self._activity[var]:
+                # Stale entry; re-push with the fresh activity.
+                heapq.heappush(self._heap, (-self._activity[var], var))
+                continue
+            return var if self._polarity[var] else -var
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == UNASSIGNED:
+                return var if self._polarity[var] else -var
+        return 0
+
+    # -- main loop -------------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: list[int] | None = None,
+        conflict_budget: int | None = None,
+    ) -> SatResult:
+        """Solve the clause set, optionally under assumptions.
+
+        ``conflict_budget`` bounds the number of conflicts before giving up
+        with :data:`SatResult.UNKNOWN` (deterministic timeout emulation).
+        """
+        if not self._ok:
+            return SatResult.UNSAT
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SatResult.UNSAT
+        assumptions = assumptions or []
+        budget_left = conflict_budget
+        restart_index = 0
+        restart_limit = 32 * luby(restart_index)
+        conflicts_since_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if budget_left is not None:
+                    budget_left -= 1
+                    if budget_left <= 0:
+                        self._backtrack(0)
+                        return SatResult.UNKNOWN
+                if len(self._trail_lim) == 0:
+                    return SatResult.UNSAT
+                if len(self._trail_lim) <= len(assumptions):
+                    # Conflict inside the assumption prefix.
+                    self._backtrack(0)
+                    return SatResult.UNSAT
+                learned, backjump = self._analyze(conflict)
+                backjump = max(backjump, len(assumptions))
+                self._backtrack(backjump)
+                if len(learned) == 1:
+                    if not self._enqueue_root(learned[0]):
+                        return SatResult.UNSAT
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self._clauses.append(clause)
+                    self.stats.learned += 1
+                    self._watch(clause, learned[0])
+                    self._watch(clause, learned[1])
+                    self._assign_lit(learned[0], clause)
+                self._var_inc /= self._var_decay
+                continue
+            if conflicts_since_restart >= restart_limit and len(
+                self._trail_lim
+            ) > len(assumptions):
+                self.stats.restarts += 1
+                restart_index += 1
+                restart_limit = 32 * luby(restart_index)
+                conflicts_since_restart = 0
+                self._backtrack(len(assumptions))
+                continue
+            # Apply pending assumptions as decisions.
+            depth = len(self._trail_lim)
+            if depth < len(assumptions):
+                lit = assumptions[depth]
+                value = self._value(lit)
+                if value == FALSE:
+                    self._backtrack(0)
+                    return SatResult.UNSAT
+                self._trail_lim.append(len(self._trail))
+                if value == UNASSIGNED:
+                    self._assign_lit(lit, None)
+                continue
+            branch = self._pick_branch()
+            if branch == 0:
+                return SatResult.SAT
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._assign_lit(branch, None)
+
+    # -- models ------------------------------------------------------------------------
+
+    def model_value(self, var: int) -> bool:
+        """Value of a variable in the satisfying assignment (after SAT)."""
+        value = self._assign[var]
+        return value == TRUE
+
+    def model(self) -> dict[int, bool]:
+        return {
+            var: self._assign[var] == TRUE for var in range(1, self._num_vars + 1)
+        }

@@ -1,0 +1,350 @@
+"""Solver façade used by KEQ (plays the role Z3 plays in the paper).
+
+Queries are first run through the rewriting simplifier; formulas that
+normalize to a constant are answered without touching the SAT solver (the
+common case for the equality-constraint checks KEQ emits, because
+synchronization-point constraints are applied by substitution).  Everything
+else is bit-blasted and decided by the CDCL solver.
+
+The façade also implements the paper's *positive-form optimization*
+(Section 3): for deterministic transition systems, proving ``φ1 ⇒ φ2`` via
+unsatisfiability of ``φ1 ∧ Ψ2`` — where ``Ψ2`` is the disjunction of the
+*sibling* path conditions of ``φ2`` — instead of ``φ1 ∧ ¬φ2``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.smt import terms as t
+from repro.smt.bitblast import BitBlaster
+from repro.smt.sat import SatResult, SatSolver
+from repro.smt.simplify import simplify
+from repro.smt.terms import Term
+
+
+class Result(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_sat(self) -> bool:
+        return self is Result.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self is Result.UNSAT
+
+
+@dataclass
+class QueryStats:
+    """Aggregate statistics across all queries issued through one Solver."""
+
+    queries: int = 0
+    fast_path: int = 0  # answered by simplification alone
+    sat_calls: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    time_seconds: float = 0.0
+    unknowns: int = 0
+    per_query_conflicts: list[int] = field(default_factory=list)
+
+
+class Model:
+    """A satisfying assignment, queried through the original terms."""
+
+    def __init__(self, blaster: BitBlaster):
+        self._blaster = blaster
+
+    def eval_bv(self, term: Term) -> int:
+        return self._blaster.model_bv(term)
+
+    def eval_bool(self, term: Term) -> bool:
+        return self._blaster.model_bool(term)
+
+
+def _random_witness(goal: Term, attempts: int = 4) -> bool:
+    """Try a few deterministic pseudo-random assignments; True iff one
+    satisfies ``goal`` (a sound SAT witness).  Never returns a wrong
+    answer — failure just falls through to the SAT solver."""
+    from repro.smt.eval import EvalError, evaluate
+
+    variables = t.free_vars(goal)
+    if len(variables) > 64:
+        return False
+
+    def select_handler(array: str, offset: int, width: int) -> int:
+        return (hash((array, offset, seed)) & t.mask(width))
+
+    for seed in range(attempts):
+        env = {}
+        for var in variables:
+            fingerprint = hash((var.name, seed))
+            if var.sort is t.BOOL:
+                env[var.name] = bool(fingerprint & 1)
+            elif seed == 0:
+                env[var.name] = 0
+            elif seed == 1:
+                env[var.name] = 1
+            else:
+                env[var.name] = fingerprint & t.mask(var.width)
+        try:
+            if evaluate(goal, env, select_handler) is True:
+                return True
+        except EvalError:
+            return False
+    return False
+
+
+def _skeleton_unsat(goal: Term) -> bool:
+    """Propositional-abstraction check (the DPLL(T) boolean skeleton).
+
+    Theory atoms (comparisons, equalities, boolean variables) are replaced
+    by fresh propositional variables — consistently, by term identity —
+    and only the boolean skeleton is solved.  The abstraction
+    over-approximates satisfiability, so skeleton-UNSAT implies UNSAT.
+    Most of KEQ's implication queries (``pc1 ∧ Ψ2`` with shared branch
+    atoms) die here without bit-blasting any arithmetic.
+    """
+    solver = SatSolver()
+    true_var = solver.new_var()
+    solver.add_clause([true_var])
+    mapping: dict[Term, int] = {}
+
+    def encode(node: Term) -> int:
+        found = mapping.get(node)
+        if found is not None:
+            return found
+        if node is t.TRUE:
+            literal = true_var
+        elif node is t.FALSE:
+            literal = -true_var
+        elif node.op == "not":
+            literal = -encode(node.args[0])
+        elif node.op in ("and", "or"):
+            literals = [encode(arg) for arg in node.args]
+            gate = solver.new_var()
+            if node.op == "and":
+                for lit in literals:
+                    solver.add_clause([-gate, lit])
+                solver.add_clause([gate] + [-lit for lit in literals])
+            else:
+                for lit in literals:
+                    solver.add_clause([gate, -lit])
+                solver.add_clause([-gate] + literals)
+            literal = gate
+        elif node.op == "xorb":
+            a = encode(node.args[0])
+            b = encode(node.args[1])
+            gate = solver.new_var()
+            solver.add_clause([-gate, a, b])
+            solver.add_clause([-gate, -a, -b])
+            solver.add_clause([gate, -a, b])
+            solver.add_clause([gate, a, -b])
+            literal = gate
+        else:  # a theory atom: fresh unconstrained variable
+            literal = solver.new_var()
+        mapping[node] = literal
+        return literal
+
+    solver.add_clause([encode(goal)])
+    return solver.solve(conflict_budget=20_000) is SatResult.UNSAT
+
+
+def _comparison_lemmas(goal: Term) -> Term:
+    """Trichotomy lemmas for comparison atoms over shared operand pairs.
+
+    Bit-blasted CDCL rediscovers facts like ``x <s y, y <s x, x == y are
+    mutually exclusive and exhaustive`` one bit at a time, at a cost of
+    thousands of conflicts.  Injecting the (valid) trichotomy clauses over
+    the atoms that already occur makes such queries propositionally easy;
+    the bit-level encoding still guarantees soundness.
+    """
+    atoms: set[Term] = set()
+    seen: set[Term] = set()
+    stack = [goal]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node.op in ("slt", "ult"):
+            atoms.add(node)
+        stack.extend(node.args)
+    pairs: set[frozenset[Term]] = set()
+    signedness: dict[frozenset[Term], set[str]] = {}
+    for atom in atoms:
+        lhs, rhs = atom.args
+        key = frozenset((lhs, rhs))
+        if len(key) < 2:
+            continue
+        pairs.add(key)
+        signedness.setdefault(key, set()).add(atom.op)
+    lemmas: list[Term] = []
+    for key in pairs:
+        x, y = sorted(key, key=lambda term: term.serial)
+        equal = t.eq(x, y)
+        for op in signedness[key]:
+            builder = t.slt if op == "slt" else t.ult
+            forward = builder(x, y)
+            backward = builder(y, x)
+            lemmas.append(t.or_(forward, backward, equal))
+            lemmas.append(t.not_(t.and_(forward, backward)))
+            lemmas.append(t.not_(t.and_(forward, equal)))
+            lemmas.append(t.not_(t.and_(backward, equal)))
+    return t.conj(lemmas)
+
+
+def _ackermann_lemmas(goal: Term) -> Term:
+    """Functional-consistency lemmas for uninterpreted ``select`` terms.
+
+    For every pair of reads from the same array, equal offsets must yield
+    equal values.  This is the only fragment of the array theory KEQ's
+    queries need (the memory model resolves store chains itself).
+    """
+    selects: dict[str, list[Term]] = {}
+    seen: set[Term] = set()
+    stack = [goal]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node.op == "select":
+            selects.setdefault(node.attr[0], []).append(node)
+        stack.extend(node.args)
+    lemmas: list[Term] = []
+    for group in selects.values():
+        for i, first in enumerate(group):
+            for second in group[i + 1 :]:
+                lemmas.append(
+                    t.implies(
+                        t.eq(first.args[0], second.args[0]), t.eq(first, second)
+                    )
+                )
+    return t.conj(lemmas)
+
+
+class Solver:
+    """Stateless-per-query solver with shared statistics.
+
+    ``conflict_budget`` bounds SAT search per query; exceeding it yields
+    :data:`Result.UNKNOWN`, which KEQ surfaces as a (deterministic) timeout
+    — the stand-in for the paper's 3-hour wall-clock limit.
+    """
+
+    def __init__(self, conflict_budget: int | None = 200_000):
+        self.conflict_budget = conflict_budget
+        self.stats = QueryStats()
+        self.last_model: Model | None = None
+        #: simplified goal -> Result.  KEQ re-issues many identical queries
+        #: (the same path-condition pair is checked once per candidate
+        #: pairing); terms are interned so the key is O(1).
+        self._memo: dict[Term, Result] = {}
+
+    # -- core entry points -----------------------------------------------------
+
+    def check_sat(
+        self, formula: Term | Iterable[Term], need_model: bool = False
+    ) -> Result:
+        """Decide satisfiability of a formula (or conjunction of formulas).
+
+        ``need_model=True`` guarantees ``last_model`` is populated on SAT
+        (the memo and random-witness shortcuts answer SAT without one).
+        """
+        if isinstance(formula, Term):
+            goal = formula
+        else:
+            goal = t.conj(formula)
+        started = time.perf_counter()
+        self.stats.queries += 1
+        self.last_model = None
+        goal = simplify(goal)
+        if goal is t.TRUE:
+            self.stats.fast_path += 1
+            self.stats.time_seconds += time.perf_counter() - started
+            return Result.SAT
+        if goal is t.FALSE:
+            self.stats.fast_path += 1
+            self.stats.time_seconds += time.perf_counter() - started
+            return Result.UNSAT
+        cached = self._memo.get(goal)
+        if cached is not None and not (need_model and cached is Result.SAT):
+            # Memo hit: no model is reconstructed (KEQ never reads models).
+            self.stats.fast_path += 1
+            self.stats.time_seconds += time.perf_counter() - started
+            return cached
+        if not need_model and _random_witness(goal):
+            # A concrete assignment satisfies the formula: SAT without
+            # touching the SAT solver.  This discharges most feasibility
+            # checks, including multiplication-heavy ones that are
+            # expensive to bit-blast.
+            self._memo[goal] = Result.SAT
+            self.stats.fast_path += 1
+            self.stats.time_seconds += time.perf_counter() - started
+            return Result.SAT
+        # Boolean-skeleton check, strengthened with the comparison-theory
+        # lemmas *at the atom level*: UNSATness that follows from branch
+        # structure plus trichotomy never needs arithmetic bit-blasting.
+        if _skeleton_unsat(t.and_(goal, _comparison_lemmas(goal))):
+            self._memo[goal] = Result.UNSAT
+            self.stats.fast_path += 1
+            self.stats.time_seconds += time.perf_counter() - started
+            return Result.UNSAT
+        bare_goal = goal
+        goal = t.and_(goal, _ackermann_lemmas(goal), _comparison_lemmas(goal))
+        sat_solver = SatSolver()
+        blaster = BitBlaster(sat_solver)
+        blaster.assert_term(goal)
+        self.stats.sat_calls += 1
+        outcome = sat_solver.solve(conflict_budget=self.conflict_budget)
+        self.stats.conflicts += sat_solver.stats.conflicts
+        self.stats.decisions += sat_solver.stats.decisions
+        self.stats.per_query_conflicts.append(sat_solver.stats.conflicts)
+        self.stats.time_seconds += time.perf_counter() - started
+        if outcome is SatResult.SAT:
+            self.last_model = Model(blaster)
+            self._memo[bare_goal] = Result.SAT
+            return Result.SAT
+        if outcome is SatResult.UNSAT:
+            self._memo[bare_goal] = Result.UNSAT
+            return Result.UNSAT
+        self.stats.unknowns += 1
+        return Result.UNKNOWN
+
+    def is_valid(self, formula: Term) -> Result:
+        """Validity: VALID iff the negation is unsatisfiable.
+
+        Returns UNSAT when *valid* (mirroring the underlying query), SAT when
+        a countermodel exists, UNKNOWN on budget exhaustion.  Use
+        :meth:`prove` for a boolean-flavoured wrapper.
+        """
+        return self.check_sat(t.not_(formula))
+
+    def prove(self, formula: Term) -> bool:
+        """True iff ``formula`` is valid.  UNKNOWN counts as *not proven*."""
+        return self.is_valid(formula).is_unsat
+
+    def prove_implies(self, antecedent: Term, consequent: Term) -> bool:
+        """Negative-form implication proof: UNSAT(antecedent ∧ ¬consequent)."""
+        return self.check_sat(t.and_(antecedent, t.not_(consequent))).is_unsat
+
+    def prove_implies_positive(
+        self, antecedent: Term, sibling_conditions: Iterable[Term]
+    ) -> bool:
+        """Positive-form implication proof (paper, Section 3).
+
+        For deterministic systems the sibling path conditions ``Ψ2`` of a
+        successor partition ``¬φ2``, so ``φ1 ⇒ φ2`` iff ``φ1 ∧ Ψ2`` is
+        unsatisfiable, avoiding the negation.
+        """
+        psi = t.disj(sibling_conditions)
+        return self.check_sat(t.and_(antecedent, psi)).is_unsat
+
+    def prove_equiv(self, left: Term, right: Term) -> bool:
+        """True iff two boolean formulas are logically equivalent."""
+        return self.prove(t.iff(left, right))

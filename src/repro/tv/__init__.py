@@ -1,0 +1,13 @@
+"""The Translation Validation system for LLVM ISel (paper Figure 5)."""
+
+from repro.tv.driver import Category, TvOptions, TvOutcome, validate_function
+from repro.tv.batch import BatchResult, run_batch
+
+__all__ = [
+    "BatchResult",
+    "Category",
+    "TvOptions",
+    "TvOutcome",
+    "run_batch",
+    "validate_function",
+]

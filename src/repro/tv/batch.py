@@ -1,0 +1,98 @@
+"""Batch validation over a corpus of functions (the GCC experiment, §5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, median
+
+from repro.llvm import ir
+from repro.tv.driver import Category, TvOptions, TvOutcome, validate_function
+
+
+@dataclass
+class BatchResult:
+    outcomes: list[TvOutcome] = field(default_factory=list)
+    #: functions excluded before validation (unsupported fragment).
+    excluded: int = 0
+
+    @property
+    def supported(self) -> list[TvOutcome]:
+        return [o for o in self.outcomes if o.category != Category.UNSUPPORTED]
+
+    def count(self, category: str) -> int:
+        return sum(1 for o in self.outcomes if o.category == category)
+
+    def success_rate(self) -> float:
+        supported = self.supported
+        if not supported:
+            return 0.0
+        return self.count(Category.SUCCEEDED) / len(supported)
+
+    def times(self) -> list[float]:
+        return [o.seconds for o in self.supported]
+
+    def sizes(self) -> list[int]:
+        return [o.code_size for o in self.supported]
+
+    def figure6_rows(self) -> list[tuple[str, int]]:
+        """The rows of the paper's Figure 6."""
+        supported = self.supported
+        return [
+            ("Succeeded", self.count(Category.SUCCEEDED)),
+            ("Failed due to timeout", self.count(Category.TIMEOUT)),
+            ("Failed due to out-of-memory", self.count(Category.OOM)),
+            (
+                "Other",
+                self.count(Category.OTHER) + self.count(Category.MISCOMPILED),
+            ),
+            ("Total", len(supported)),
+        ]
+
+    def summary(self) -> str:
+        lines = ["Result                         #Functions"]
+        for label, value in self.figure6_rows():
+            lines.append(f"{label:<30} {value}")
+        times = self.times()
+        if times:
+            lines.append(
+                f"time: mean={mean(times):.3f}s median={median(times):.3f}s"
+                f" max={max(times):.3f}s"
+            )
+        lines.append(f"success rate: {100 * self.success_rate():.2f}%")
+        return "\n".join(lines)
+
+
+def run_batch(
+    module: ir.Module,
+    options: TvOptions | None = None,
+    function_names: list[str] | None = None,
+    overrides: dict[str, TvOptions] | None = None,
+) -> BatchResult:
+    """Validate every function of a module (or the listed subset).
+
+    ``overrides`` supplies per-function options (used by the corpus runner
+    to validate designated functions with the imprecise liveness variant).
+    """
+    result = BatchResult()
+    names = function_names if function_names is not None else list(module.functions)
+    overrides = overrides or {}
+    for name in names:
+        result.outcomes.append(
+            validate_function(module, name, overrides.get(name, options))
+        )
+    return result
+
+
+def run_corpus(corpus, options: TvOptions | None = None) -> BatchResult:
+    """Validate a generated corpus (see :mod:`repro.workloads.corpus`)."""
+    import dataclasses
+
+    module = corpus.build_module()
+    base = options or TvOptions.for_campaign()
+    overrides: dict[str, TvOptions] = {}
+    for spec in corpus.functions:
+        if spec.imprecise_liveness:
+            overrides[spec.name] = dataclasses.replace(
+                base, imprecise_liveness=True
+            )
+    return run_batch(module, base, overrides=overrides)

@@ -1,0 +1,166 @@
+"""End-to-end translation validation of one function (paper Figure 5).
+
+``validate_function`` runs the full pipeline: ISel (with hints) → VC
+generation (synchronization points) → KEQ, and classifies the outcome into
+the categories of the paper's Figure 6:
+
+- ``SUCCEEDED`` — KEQ proved the translation correct;
+- ``TIMEOUT`` — a resource budget ran out (the paper's 3-hour wall-clock
+  limit, reproduced deterministically as symbolic-execution step budgets
+  and SAT conflict budgets);
+- ``OOM`` — the synchronization-point specification exceeded the parser
+  memory budget (the paper's K-parser out-of-memory failures, which
+  happened while *parsing the sync point specifications*; reproduced as a
+  deterministic cap on the specification size);
+- ``OTHER`` — inadequate synchronization points (the paper's liveness
+  -mismatch failures) and any remaining infrastructure failure;
+- ``MISCOMPILED`` — KEQ definitively refuted equivalence (only reachable
+  with a bug-injected ISel; zero functions in the paper's GCC run);
+- ``UNSUPPORTED`` — outside the supported language fragment (the paper's
+  5572-4732=840 excluded functions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.isel import IselError, IselOptions, select_function
+from repro.keq import (
+    FailureReason,
+    Keq,
+    KeqOptions,
+    KeqReport,
+    Verdict,
+    default_acceptability,
+)
+from repro.llvm import ir
+from repro.llvm.semantics import LlvmSemantics, SemanticsError
+from repro.vcgen import VcGenError, generate_sync_points
+from repro.vx86.semantics import Vx86Semantics
+
+
+class Category:
+    SUCCEEDED = "succeeded"
+    TIMEOUT = "timeout"
+    OOM = "oom"
+    OTHER = "other"
+    MISCOMPILED = "miscompiled"
+    UNSUPPORTED = "unsupported"
+
+
+@dataclass
+class TvOptions:
+    isel: IselOptions = field(default_factory=IselOptions)
+    keq: KeqOptions = field(default_factory=KeqOptions)
+    imprecise_liveness: bool = False
+    #: cap on the sync-point specification size (see Category.OOM).
+    parser_memory_budget: int | None = 4000
+
+    @staticmethod
+    def for_campaign(wall_budget_seconds: float = 30.0) -> "TvOptions":
+        """Batch-campaign defaults: the paper's per-function wall-clock
+        limit (scaled from 3 hours on a Xeon to seconds here)."""
+        return TvOptions(keq=KeqOptions(wall_budget_seconds=wall_budget_seconds))
+
+
+@dataclass
+class TvOutcome:
+    function: str
+    category: str
+    report: KeqReport | None = None
+    detail: str = ""
+    seconds: float = 0.0
+    code_size: int = 0  # LLVM instruction count
+    sync_points: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.category == Category.SUCCEEDED
+
+    def __str__(self) -> str:
+        return f"@{self.function}: {self.category}" + (
+            f" ({self.detail})" if self.detail else ""
+        )
+
+
+def _code_size(function: ir.Function) -> int:
+    return sum(1 for _ in function.instructions())
+
+
+def validate_function(
+    module: ir.Module,
+    function_name: str,
+    options: TvOptions | None = None,
+) -> TvOutcome:
+    options = options or TvOptions()
+    function = module.function(function_name)
+    size = _code_size(function)
+    started = time.perf_counter()
+
+    def done(category: str, report=None, detail="", points=0) -> TvOutcome:
+        return TvOutcome(
+            function_name,
+            category,
+            report,
+            detail,
+            seconds=time.perf_counter() - started,
+            code_size=size,
+            sync_points=points,
+        )
+
+    # 1. Instruction selection + hint generation.
+    try:
+        machine, hints = select_function(module, function, options.isel)
+    except IselError as error:
+        return done(Category.UNSUPPORTED, detail=str(error))
+
+    # 2. Verification condition generation.
+    try:
+        points = generate_sync_points(
+            module,
+            function,
+            machine,
+            hints,
+            imprecise_liveness=options.imprecise_liveness,
+        )
+    except VcGenError as error:
+        return done(Category.OTHER, detail=str(error))
+    if (
+        options.parser_memory_budget is not None
+        and points.spec_size() > options.parser_memory_budget
+    ):
+        return done(
+            Category.OOM,
+            detail=f"sync point spec size {points.spec_size()}"
+            f" > {options.parser_memory_budget}",
+            points=len(points),
+        )
+
+    # 3. KEQ.
+    left = LlvmSemantics(module)
+    right = Vx86Semantics({machine.name: machine})
+    keq = Keq(left, right, default_acceptability(), options.keq)
+    try:
+        report = keq.check_equivalence(points)
+    except SemanticsError as error:
+        return done(Category.UNSUPPORTED, detail=str(error), points=len(points))
+    if report.verdict is Verdict.VALIDATED:
+        return done(Category.SUCCEEDED, report, points=len(points))
+    if report.verdict is Verdict.TIMEOUT:
+        return done(Category.TIMEOUT, report, points=len(points))
+    if any(f.reason is FailureReason.UNBOUND_NAME for f in report.failures):
+        return done(
+            Category.OTHER,
+            report,
+            detail="inadequate synchronization points",
+            points=len(points),
+        )
+    if any(f.reason is FailureReason.UNSUPPORTED for f in report.failures):
+        return done(Category.UNSUPPORTED, report, points=len(points))
+    return done(
+        Category.MISCOMPILED,
+        report,
+        detail="; ".join(str(f) for f in report.failures[:3]),
+        points=len(points),
+    )

@@ -1,0 +1,5 @@
+"""Verification condition generation for the ISel TV system."""
+
+from repro.vcgen.syncgen import VcGenError, generate_sync_points
+
+__all__ = ["VcGenError", "generate_sync_points"]

@@ -1,0 +1,358 @@
+"""Synchronization point generation for Instruction Selection (paper §4.5).
+
+Implements the paper's strategy:
+
+- **function entry / exit** — constraints from the SysV calling convention
+  (arguments in ``rdi``/``rsi``/``rdx``/``rcx``/``r8``/``r9`` sub-registers,
+  return value in ``rax``);
+- **loop entries** — one point per (loop header, predecessor) pair, as the
+  paper does "to expedite the symbolic execution of the phi instructions";
+  constraints relate the live registers across the edge, using the
+  compiler-generated register-correspondence hint and liveness analysis;
+- **call sites** — a covering (non-executable) point *before* each call,
+  relating callee and arguments, and an executable *resume* point after
+  it, relating the live registers and the return values;
+- every point carries the whole-memory equality clause (the common memory
+  model makes it a single structural constraint).
+
+``imprecise_liveness=True`` reproduces the paper's "inadequate
+synchronization points" failure category (16 functions in the GCC run).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import LlvmGraph, MachineGraph, liveness, natural_loops
+from repro.isel.hints import IselHints
+from repro.keq.syncpoints import EqConstraint, Expr, StateSpec, SyncPoint, SyncPointSet
+from repro.llvm import ir
+from repro.llvm.typing import value_types
+from repro.llvm.types import VoidType, bit_width, sizeof
+from repro.memory import MemoryObject
+from repro.semantics.state import Location
+from repro.vx86.insns import ARGUMENT_REGISTERS, MachineFunction
+
+#: Canonical argument-register names at a given bit width do not change —
+#: the canonical 64-bit name is the environment key; the constraint width
+#: selects the sub-register view.
+
+
+class VcGenError(Exception):
+    pass
+
+
+def generate_sync_points(
+    module: ir.Module,
+    function: ir.Function,
+    machine: MachineFunction,
+    hints: IselHints,
+    imprecise_liveness: bool = False,
+    loop_point_style: str = "per-predecessor",
+) -> SyncPointSet:
+    """Generate the VC for one ISel instance.
+
+    ``loop_point_style`` selects the loop-entry strategy: the paper's
+    ``"per-predecessor"`` (one point per in-edge, constraints over the
+    incoming values — "to expedite the symbolic execution of the phi
+    instructions"), or ``"post-phi"`` (a single point per header placed
+    *after* the phi group, constraints over the phi results) — the
+    alternative the per-experiment ablation compares against.
+    """
+    generator = _Generator(
+        module, function, machine, hints, imprecise_liveness, loop_point_style
+    )
+    return generator.run()
+
+
+class _Generator:
+    def __init__(
+        self,
+        module: ir.Module,
+        function: ir.Function,
+        machine: MachineFunction,
+        hints: IselHints,
+        imprecise_liveness: bool,
+        loop_point_style: str = "per-predecessor",
+    ):
+        self.loop_point_style = loop_point_style
+        self.module = module
+        self.function = function
+        self.machine = machine
+        self.hints = hints
+        self.llvm_graph = LlvmGraph(function)
+        self.machine_graph = MachineGraph(machine)
+        self.llvm_live = liveness(self.llvm_graph, imprecise=imprecise_liveness)
+        self.machine_live = liveness(self.machine_graph, imprecise=imprecise_liveness)
+        self.types = value_types(function)
+        self.vreg_to_name = {
+            _vreg_key_of(reg): name for name, reg in hints.reg_map.items()
+        }
+        self.memory_objects = self._memory_template()
+
+    def _memory_template(self) -> tuple[MemoryObject, ...]:
+        objects = [
+            MemoryObject(variable.name, sizeof(variable.type), kind="global")
+            for variable in self.module.globals.values()
+        ]
+        objects += [
+            MemoryObject(name, size, kind="stack")
+            for name, size in self.machine.frame_objects.items()
+        ]
+        return tuple(objects)
+
+    # -- driver -------------------------------------------------------------------
+
+    def run(self) -> SyncPointSet:
+        points = SyncPointSet()
+        points.add(self._entry_point())
+        points.add(self._exit_point())
+        for point in self._loop_points():
+            points.add(point)
+        for point in self._call_points():
+            points.add(point)
+        return points
+
+    # -- entry / exit -------------------------------------------------------------
+
+    def _entry_point(self) -> SyncPoint:
+        constraints = []
+        for index, (name, type_) in enumerate(self.function.parameters):
+            width = bit_width(type_)
+            constraints.append(
+                EqConstraint(
+                    Expr.env(name, width),
+                    Expr.env(ARGUMENT_REGISTERS[index], min(width, 64)),
+                    junk_upper="right" if width < 64 else None,
+                )
+            )
+        return SyncPoint(
+            name="p_entry",
+            kind="entry",
+            left=StateSpec.at(
+                Location(self.function.name, self.function.entry_block.name, 0)
+            ),
+            right=StateSpec.at(
+                Location(self.machine.name, self.machine.entry_block.name, 0)
+            ),
+            constraints=tuple(constraints),
+            memory_objects=self.memory_objects,
+        )
+
+    def _exit_point(self) -> SyncPoint:
+        constraints = []
+        if not isinstance(self.function.return_type, VoidType):
+            width = bit_width(self.function.return_type)
+            constraints.append(
+                EqConstraint(Expr.ret(width), Expr.ret(width))
+            )
+        return SyncPoint(
+            name="p_exit",
+            kind="exit",
+            left=StateSpec.exit(),
+            right=StateSpec.exit(),
+            constraints=tuple(constraints),
+            memory_objects=self.memory_objects,
+            executable=False,
+        )
+
+    # -- loop entries -------------------------------------------------------------
+
+    def _loop_points(self) -> list[SyncPoint]:
+        points = []
+        predecessors = self.llvm_graph.predecessors()
+        for loop in natural_loops(self.llvm_graph):
+            header = loop.header
+            if self.loop_point_style == "post-phi":
+                points.append(self._post_phi_point(header))
+                continue
+            for predecessor in predecessors[header]:
+                points.append(self._edge_point(predecessor, header))
+        return points
+
+    def _post_phi_point(self, header: str) -> SyncPoint:
+        """A single loop point per header, placed after the phi group."""
+        machine_header = self.hints.machine_block(header)
+        llvm_phis = len(self.function.block(header).phis())
+        machine_phis = len(self.machine.block(machine_header).phis())
+        machine_live = self._machine_live_at(machine_header, machine_phis)
+        constraints = self._live_constraints(machine_live)
+        return SyncPoint(
+            name=f"p_loop_{header}_postphi",
+            kind="loop",
+            left=StateSpec.at(Location(self.function.name, header, llvm_phis)),
+            right=StateSpec.at(
+                Location(self.machine.name, machine_header, machine_phis)
+            ),
+            constraints=tuple(constraints),
+            memory_objects=self.memory_objects,
+        )
+
+    def _edge_point(self, predecessor: str, header: str) -> SyncPoint:
+        machine_header = self.hints.machine_block(header)
+        machine_predecessor = self.hints.machine_block(predecessor)
+        machine_live = self.machine_live.edge_live(
+            machine_predecessor, machine_header
+        )
+        constraints = self._live_constraints(machine_live)
+        return SyncPoint(
+            name=f"p_loop_{header}_from_{predecessor}",
+            kind="loop",
+            left=StateSpec.at(
+                Location(self.function.name, header, 0), prev_block=predecessor
+            ),
+            right=StateSpec.at(
+                Location(self.machine.name, machine_header, 0),
+                prev_block=machine_predecessor,
+            ),
+            constraints=tuple(constraints),
+            memory_objects=self.memory_objects,
+        )
+
+    def _live_constraints(self, machine_live: set[str]) -> list[EqConstraint]:
+        """Relate each live machine register to its LLVM counterpart.
+
+        Machine registers with no counterpart (possible under the imprecise
+        liveness mode) are left unconstrained — KEQ will then fail with an
+        unbound name, the paper's "inadequate synchronization points"."""
+        constraints = []
+        for key in sorted(machine_live):
+            width = _key_width(key)
+            name = self.vreg_to_name.get(key)
+            if name is not None:
+                llvm_width = bit_width(self.types[name])
+                constraints.append(
+                    EqConstraint(
+                        Expr.env(name, llvm_width),
+                        Expr.env(key, width),
+                        pointer_object=self.hints.pointer_objects.get(name),
+                    )
+                )
+            elif key in self.hints.const_regs:
+                constraints.append(
+                    EqConstraint(
+                        Expr.lit(self.hints.const_regs[key], width),
+                        Expr.env(key, width),
+                    )
+                )
+            # else: unconstrained — inadequate point, detected by KEQ.
+        return constraints
+
+    # -- call sites ------------------------------------------------------------------
+
+    def _call_points(self) -> list[SyncPoint]:
+        points = []
+        for block in self.function.blocks.values():
+            llvm_calls = [
+                (index, instruction)
+                for index, instruction in enumerate(block.instructions)
+                if isinstance(instruction, ir.Call)
+            ]
+            if not llvm_calls:
+                continue
+            machine_block = self.machine.block(self.hints.machine_block(block.name))
+            machine_calls = [
+                index
+                for index, instruction in enumerate(machine_block.instructions)
+                if instruction.opcode == "call"
+            ]
+            if len(machine_calls) != len(llvm_calls):
+                raise VcGenError(
+                    f"call count mismatch in block {block.name}: "
+                    f"{len(llvm_calls)} vs {len(machine_calls)}"
+                )
+            for (llvm_index, call), machine_index in zip(llvm_calls, machine_calls):
+                points.append(
+                    self._pre_call_point(block, llvm_index, call, machine_block.name, machine_index)
+                )
+                points.append(
+                    self._resume_point(block, llvm_index, call, machine_block.name, machine_index)
+                )
+        return points
+
+    def _pre_call_point(
+        self,
+        block: ir.Block,
+        llvm_index: int,
+        call: ir.Call,
+        machine_block: str,
+        machine_index: int,
+    ) -> SyncPoint:
+        constraints = []
+        for position, (type_, _) in enumerate(call.arguments):
+            width = bit_width(type_)
+            constraints.append(
+                EqConstraint(Expr.arg(position, width), Expr.arg(position, width))
+            )
+        return SyncPoint(
+            name=f"p_call_{block.name}_{llvm_index}",
+            kind="call",
+            left=StateSpec.call(
+                Location(self.function.name, block.name, llvm_index), call.callee
+            ),
+            right=StateSpec.call(
+                Location(self.machine.name, machine_block, machine_index),
+                call.callee,
+            ),
+            constraints=tuple(constraints),
+            memory_objects=self.memory_objects,
+            executable=False,
+        )
+
+    def _resume_point(
+        self,
+        block: ir.Block,
+        llvm_index: int,
+        call: ir.Call,
+        machine_block: str,
+        machine_index: int,
+    ) -> SyncPoint:
+        machine_live = self._machine_live_at(machine_block, machine_index + 1)
+        constraints = self._live_constraints(machine_live - {"rax"})
+        if call.name is not None:
+            width = bit_width(call.return_type)
+            constraints.append(
+                EqConstraint(
+                    Expr.env(call.name, width),
+                    Expr.env("rax", min(width, 64)),
+                    junk_upper="right" if width < 64 else None,
+                )
+            )
+        return SyncPoint(
+            name=f"p_resume_{block.name}_{llvm_index}",
+            kind="resume",
+            left=StateSpec.at(
+                Location(self.function.name, block.name, llvm_index + 1)
+            ),
+            right=StateSpec.at(
+                Location(self.machine.name, machine_block, machine_index + 1)
+            ),
+            constraints=tuple(constraints),
+            memory_objects=self.memory_objects,
+        )
+
+    def _machine_live_at(self, block_name: str, index: int) -> set[str]:
+        """Live machine registers immediately before instruction ``index``."""
+        live = set(self.machine_live.live_out[block_name])
+        for successor in self.machine_graph.successors(block_name):
+            for phi in self.machine_graph.phi_defs(successor):
+                for pred, incoming in phi.incomings:
+                    if pred == block_name and incoming is not None:
+                        live.add(incoming)
+        block = self.machine.block(block_name)
+        per_instruction = self.machine_graph.instruction_uses_defs(block_name)
+        # instruction_uses_defs skips PHIs; align indices.
+        phi_count = len(block.phis())
+        for position in range(len(per_instruction) - 1, index - 1 - phi_count, -1):
+            uses, defs = per_instruction[position]
+            live -= defs
+            live |= uses
+        return live
+
+
+def _vreg_key_of(reg) -> str:
+    return f"vr{reg.id}_{reg.width}"
+
+
+def _key_width(key: str) -> int:
+    if key.startswith("vr"):
+        return int(key.rsplit("_", 1)[1])
+    return 64

@@ -1,0 +1,349 @@
+"""Virtual x86 instruction set and machine-function containers.
+
+Instructions are uniform :class:`MInstr` records — an opcode plus typed
+operands.  The opcode vocabulary (``OPCODES``) covers the fragment the
+paper's semantics support: integer ALU ops, moves between registers and
+memory, ``lea``, compares and conditional jumps, the Machine IR pseudo-ops
+``COPY`` and ``PHI``, calls and returns.
+
+Division is modelled with explicit quotient/remainder opcodes
+(``idiv``/``irem``/``udiv``/``urem``) instead of the implicit
+``rdx:rax`` convention; LLVM's own Machine IR likewise uses pseudo
+expansions before register allocation, and the trap behaviour (#DE on zero
+divisor or quotient overflow) is preserved in the semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+# ---------------------------------------------------------------------------
+# Registers
+# ---------------------------------------------------------------------------
+
+#: Canonical 64-bit general-purpose register names.
+GPR64 = (
+    "rax",
+    "rbx",
+    "rcx",
+    "rdx",
+    "rsi",
+    "rdi",
+    "rbp",
+    "rsp",
+    "r8",
+    "r9",
+    "r10",
+    "r11",
+    "r12",
+    "r13",
+    "r14",
+    "r15",
+)
+
+#: Sub-register aliases -> (canonical 64-bit register, access width in bits).
+ALIASES: dict[str, tuple[str, int]] = {}
+for _reg in GPR64:
+    ALIASES[_reg] = (_reg, 64)
+for _r64, _r32 in zip(
+    GPR64,
+    ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp"),
+):
+    ALIASES[_r32] = (_r64, 32)
+for _i in range(8, 16):
+    ALIASES[f"r{_i}d"] = (f"r{_i}", 32)
+    ALIASES[f"r{_i}w"] = (f"r{_i}", 16)
+    ALIASES[f"r{_i}b"] = (f"r{_i}", 8)
+for _r64, _r16 in zip(GPR64[:8], ("ax", "bx", "cx", "dx", "si", "di", "bp", "sp")):
+    ALIASES[_r16] = (_r64, 16)
+for _r64, _r8 in zip(GPR64[:4], ("al", "bl", "cl", "dl")):
+    ALIASES[_r8] = (_r64, 8)
+
+#: SysV AMD64 integer argument registers, in order.
+ARGUMENT_REGISTERS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+
+RETURN_REGISTER = "rax"
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register ``%vr<id>_<width>``."""
+
+    id: int
+    width: int  # bits
+
+    def __str__(self) -> str:
+        return f"%vr{self.id}_{self.width}"
+
+
+@dataclass(frozen=True)
+class PReg:
+    """A physical register access: canonical 64-bit name + view width."""
+
+    name: str  # canonical, e.g. "rax"
+    width: int
+
+    @staticmethod
+    def named(alias: str) -> "PReg":
+        if alias not in ALIASES:
+            raise ValueError(f"unknown register {alias!r}")
+        canonical, width = ALIASES[alias]
+        return PReg(canonical, width)
+
+    def __str__(self) -> str:
+        for alias, (canonical, width) in ALIASES.items():
+            if canonical == self.name and width == self.width:
+                return alias
+        return f"{self.name}:{self.width}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: int
+    width: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory operand: ``[object + base + disp]`` with byte access width.
+
+    ``object`` names a memory object (a global or a frame slot) and ``base``
+    is an optional register holding a byte offset *or* a full pointer (when
+    ``object`` is None).  This mirrors x86 addressing restricted to the
+    shapes ISel emits with the common memory model.
+    """
+
+    width_bytes: int
+    object: str | None = None
+    base: Union[VReg, PReg, None] = None
+    disp: int = 0
+
+    def __str__(self) -> str:
+        parts = []
+        if self.object is not None:
+            parts.append(self.object)
+        if self.base is not None:
+            parts.append(str(self.base))
+        if self.disp or not parts:
+            parts.append(str(self.disp))
+        return f"[{' + '.join(parts)}]"
+
+
+Operand = Union[VReg, PReg, Imm, Label, MemRef]
+
+
+# ---------------------------------------------------------------------------
+# Opcode vocabulary
+# ---------------------------------------------------------------------------
+
+ALU_OPS = (
+    "add",
+    "sub",
+    "imul",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "shr",
+    "sar",
+    "idiv",
+    "irem",
+    "udiv",
+    "urem",
+)
+
+UNARY_OPS = ("inc", "dec", "neg", "not")
+
+#: jcc -> flag expression evaluated by the semantics.
+CONDITION_CODES = (
+    "je",
+    "jne",
+    "jb",
+    "jae",
+    "jbe",
+    "ja",
+    "jl",
+    "jge",
+    "jle",
+    "jg",
+    "js",
+    "jns",
+)
+
+#: cmovcc picks between its two operands on a flag condition.
+CMOV_OPS = tuple("cmov" + cc[1:] for cc in (
+    "je", "jne", "jb", "jae", "jbe", "ja", "jl", "jge", "jle", "jg", "js", "jns"
+))
+
+#: cmov opcode -> the jcc whose condition it tests.
+CMOV_CONDITION = {op: "j" + op[4:] for op in CMOV_OPS}
+
+#: setcc materializes a flag condition as a 0/1 byte.
+SETCC_OPS = (
+    "sete",
+    "setne",
+    "setb",
+    "setae",
+    "setbe",
+    "seta",
+    "setl",
+    "setge",
+    "setle",
+    "setg",
+    "sets",
+    "setns",
+)
+
+#: setcc opcode -> the jcc whose condition it materializes.
+SETCC_CONDITION = {op: "j" + op[3:] for op in SETCC_OPS}
+
+#: opcode -> (has_result, operand count excluding result); -1 = variadic.
+OPCODES: dict[str, tuple[bool, int]] = {
+    **{op: (True, 2) for op in ALU_OPS},
+    **{op: (True, 1) for op in UNARY_OPS},
+    **{cc: (False, 1) for cc in CONDITION_CODES},
+    **{op: (True, 0) for op in SETCC_OPS},
+    **{op: (True, 2) for op in CMOV_OPS},
+    "COPY": (True, 1),
+    "PHI": (True, -1),
+    "mov": (True, 1),  # register <- immediate/register
+    "load": (True, 1),  # register <- MemRef
+    "store": (False, 2),  # MemRef, source (register or immediate)
+    "lea": (True, 1),  # register <- address of MemRef
+    "movzx": (True, 1),
+    "movsx": (True, 1),
+    "cmp": (False, 2),
+    "test": (False, 2),
+    "jmp": (False, 1),
+    "call": (False, -1),  # label, then argument registers (documentation)
+    "ret": (False, 0),
+}
+
+
+@dataclass(frozen=True)
+class MInstr:
+    """One machine instruction: ``result = opcode(operands)``."""
+
+    opcode: str
+    operands: tuple[Operand, ...] = ()
+    result: Union[VReg, PReg, None] = None
+
+    def __post_init__(self):
+        if self.opcode not in OPCODES:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+        has_result, arity = OPCODES[self.opcode]
+        if has_result and self.result is None:
+            raise ValueError(f"{self.opcode} requires a result register")
+        if not has_result and self.result is not None:
+            raise ValueError(f"{self.opcode} does not produce a result")
+        if arity >= 0 and len(self.operands) != arity:
+            raise ValueError(
+                f"{self.opcode} expects {arity} operands, got {len(self.operands)}"
+            )
+
+    def __str__(self) -> str:
+        opcode = self.opcode
+        if opcode in ("load", "store"):
+            # Print the access width so the textual form parses back
+            # unambiguously (immediates carry no width of their own).
+            mem = self.operands[0]
+            assert isinstance(mem, MemRef)
+            opcode = f"{opcode}{mem.width_bytes * 8}"
+        parts = ", ".join(str(operand) for operand in self.operands)
+        if self.result is not None:
+            return f"{self.result} = {opcode} {parts}".rstrip()
+        return f"{opcode} {parts}".rstrip()
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in ("jmp", "ret") or self.opcode in CONDITION_CODES
+
+
+# ---------------------------------------------------------------------------
+# Containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MachineBlock:
+    name: str
+    instructions: list[MInstr] = field(default_factory=list)
+
+    def successors(self) -> list[str]:
+        result = []
+        for instruction in self.instructions:
+            if instruction.opcode == "jmp" or instruction.opcode in CONDITION_CODES:
+                target = instruction.operands[0]
+                assert isinstance(target, Label)
+                result.append(target.name)
+        return result
+
+    def phis(self) -> list[MInstr]:
+        result = []
+        for instruction in self.instructions:
+            if instruction.opcode == "PHI":
+                result.append(instruction)
+            else:
+                break
+        return result
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines += [f"  {instruction}" for instruction in self.instructions]
+        return "\n".join(lines)
+
+
+@dataclass
+class MachineFunction:
+    name: str
+    blocks: dict[str, MachineBlock] = field(default_factory=dict)
+    #: frame slots: object name -> byte size (objects in the common memory
+    #: model, shared with the LLVM side's allocas by construction).
+    frame_objects: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entry_block(self) -> MachineBlock:
+        return next(iter(self.blocks.values()))
+
+    def block(self, name: str) -> MachineBlock:
+        if name not in self.blocks:
+            raise KeyError(f"no block {name!r} in {self.name}")
+        return self.blocks[name]
+
+    def add_block(self, block: MachineBlock) -> MachineBlock:
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block {block.name!r}")
+        self.blocks[block.name] = block
+        return block
+
+    def predecessors(self) -> dict[str, list[str]]:
+        result: dict[str, list[str]] = {name: [] for name in self.blocks}
+        for block in self.blocks.values():
+            for successor in block.successors():
+                result[successor].append(block.name)
+        return result
+
+    def instructions(self) -> Iterator[tuple[str, int, MInstr]]:
+        for block in self.blocks.values():
+            for index, instruction in enumerate(block.instructions):
+                yield block.name, index, instruction
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        for object_name, size in self.frame_objects.items():
+            lines.append(f"frame {object_name}, {size}")
+        for block in self.blocks.values():
+            lines.append(str(block))
+        return "\n".join(lines)

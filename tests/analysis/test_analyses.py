@@ -1,0 +1,175 @@
+"""Tests for the CFG analyses: dominators, loops, liveness."""
+
+from repro.analysis import (
+    LlvmGraph,
+    MachineGraph,
+    dominator_tree,
+    dominators,
+    liveness,
+    loop_headers,
+    natural_loops,
+)
+from repro.analysis.dominators import dominates
+from repro.llvm import parse_module
+from repro.vx86 import parse_machine_function
+
+LOOP_FN = """
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %latch ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  br label %latch
+latch:
+  %inc = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}
+"""
+
+NESTED_FN = """
+define i32 @g(i32 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i32 [ 0, %entry ], [ %i2, %outer.latch ]
+  %c1 = icmp ult i32 %i, %n
+  br i1 %c1, label %inner, label %done
+inner:
+  %j = phi i32 [ 0, %outer ], [ %j2, %inner ]
+  %j2 = add i32 %j, 1
+  %c2 = icmp ult i32 %j2, %n
+  br i1 %c2, label %inner, label %outer.latch
+outer.latch:
+  %i2 = add i32 %i, 1
+  br label %outer
+done:
+  ret i32 %i
+}
+"""
+
+
+def llvm_graph(source):
+    module = parse_module(source)
+    return LlvmGraph(next(iter(module.functions.values())))
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        graph = llvm_graph(LOOP_FN)
+        doms = dominators(graph)
+        for block in graph.block_names():
+            assert dominates(doms, "entry", block)
+
+    def test_header_dominates_body_and_latch(self):
+        doms = dominators(llvm_graph(LOOP_FN))
+        assert dominates(doms, "head", "body")
+        assert dominates(doms, "head", "latch")
+        assert not dominates(doms, "body", "head")
+
+    def test_idom_tree_shape(self):
+        tree = dominator_tree(llvm_graph(LOOP_FN))
+        assert tree["entry"] is None
+        assert tree["head"] == "entry"
+        assert tree["exit"] == "head"
+
+    def test_diamond_join_dominated_by_fork(self):
+        graph = llvm_graph(
+            """
+define i32 @d(i32 %x) {
+entry:
+  %c = icmp eq i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  br label %j
+b:
+  br label %j
+j:
+  ret i32 %x
+}
+"""
+        )
+        doms = dominators(graph)
+        assert dominates(doms, "entry", "j")
+        assert not dominates(doms, "a", "j")
+
+
+class TestLoops:
+    def test_single_loop_detected(self):
+        loops = natural_loops(llvm_graph(LOOP_FN))
+        assert len(loops) == 1
+        assert loops[0].header == "head"
+        assert loops[0].body == {"head", "body", "latch"}
+
+    def test_nested_loops_detected(self):
+        headers = loop_headers(llvm_graph(NESTED_FN))
+        assert sorted(headers) == ["inner", "outer"]
+
+    def test_inner_loop_body_subset_of_outer(self):
+        loops = {l.header: l for l in natural_loops(llvm_graph(NESTED_FN))}
+        assert loops["inner"].body < loops["outer"].body
+
+    def test_loop_free_function_has_no_loops(self):
+        graph = llvm_graph(
+            "define i32 @h(i32 %x) {\nentry:\n  ret i32 %x\n}"
+        )
+        assert natural_loops(graph) == []
+
+    def test_machine_side_loops_match(self):
+        machine = parse_machine_function(
+            "f:\n.LBB0:\n  jmp .LBB1\n.LBB1:\n  cmp edi, esi\n"
+            "  jb .LBB2\n  jmp .LBB3\n.LBB2:\n  jmp .LBB1\n.LBB3:\n  ret\n"
+        )
+        assert loop_headers(MachineGraph(machine)) == [".LBB1"]
+
+
+class TestLiveness:
+    def test_parameter_live_into_loop(self):
+        graph = llvm_graph(LOOP_FN)
+        result = liveness(graph)
+        assert "n" in result.live_in["head"]
+
+    def test_phi_result_not_live_on_entry_edge(self):
+        graph = llvm_graph(LOOP_FN)
+        result = liveness(graph)
+        edge = result.edge_live("entry", "head")
+        assert "i" not in edge  # the phi result is defined at the header
+        assert "n" in edge
+
+    def test_phi_incoming_live_on_latch_edge(self):
+        graph = llvm_graph(LOOP_FN)
+        result = liveness(graph)
+        edge = result.edge_live("latch", "head")
+        assert "inc" in edge
+        assert "n" in edge
+
+    def test_dead_value_not_live(self):
+        graph = llvm_graph(
+            "define i32 @h(i32 %x) {\nentry:\n  %dead = add i32 %x, 1\n"
+            "  br label %next\nnext:\n  ret i32 %x\n}"
+        )
+        result = liveness(graph)
+        assert "dead" not in result.live_in["next"]
+
+    def test_imprecise_mode_overapproximates(self):
+        graph = llvm_graph(LOOP_FN)
+        precise = liveness(graph)
+        imprecise = liveness(graph, imprecise=True)
+        entry_edge_precise = precise.edge_live("entry", "head")
+        entry_edge_imprecise = imprecise.edge_live("entry", "head")
+        assert entry_edge_precise <= entry_edge_imprecise
+        # The latch incoming leaks onto the entry edge — the inadequacy.
+        assert "inc" in entry_edge_imprecise
+        assert "inc" not in entry_edge_precise
+
+    def test_machine_liveness_tracks_vregs(self):
+        machine = parse_machine_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  jmp .LBB1\n"
+            ".LBB1:\n  eax = COPY %vr0_32\n  ret\n"
+        )
+        result = liveness(MachineGraph(machine))
+        assert "vr0_32" in result.live_in[".LBB1"]

@@ -1,0 +1,86 @@
+"""Tests for the IMP textual front end."""
+
+import pytest
+
+from repro.imp import ImpSemantics, StackSemantics, compile_program, generate_imp_sync_points, imp_entry_state
+from repro.imp.lang import Assign, BinExpr, If, Return, While
+from repro.imp.parser import ImpParseError, parse_imp
+from repro.keq import Keq, Verdict
+from repro.semantics.run import run_concrete
+from repro.smt import t
+
+SUM = """
+# classic triangular sum
+def sum(n) {
+    i = 0; acc = 0;
+    while main (i < n) {
+        acc = acc + i;
+        i = i + 1;
+    }
+    return acc;
+}
+"""
+
+
+class TestParser:
+    def test_parses_structure(self):
+        program = parse_imp(SUM)
+        assert program.name == "sum"
+        assert program.parameters == ("n",)
+        kinds = [type(s) for s in program.body]
+        assert kinds == [Assign, Assign, While, Return]
+        assert program.loop_headers  # labelled loop recorded
+
+    def test_precedence(self):
+        program = parse_imp("def f(a, b) { return a + b * 2; }")
+        (ret,) = program.body
+        assert isinstance(ret.value, BinExpr) and ret.value.op == "+"
+        assert isinstance(ret.value.rhs, BinExpr) and ret.value.rhs.op == "*"
+
+    def test_parentheses(self):
+        program = parse_imp("def f(a, b) { return (a + b) * 2; }")
+        (ret,) = program.body
+        assert ret.value.op == "*"
+
+    def test_if_else(self):
+        program = parse_imp(
+            "def f(x) { if (x < 0) { return 0 - x; } else { return x; } }"
+        )
+        (branch,) = program.body
+        assert isinstance(branch, If)
+        assert branch.then_body and branch.else_body
+
+    def test_unlabelled_while(self):
+        program = parse_imp("def f(n) { while (n < 10) { n = n + 1; } return n; }")
+        (loop, _) = program.body
+        assert isinstance(loop, While) and loop.label == ""
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ImpParseError):
+            parse_imp("def f(x) { return x }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ImpParseError):
+            parse_imp("def f(x) { return x; } garbage")
+
+    def test_keyword_as_name_rejected(self):
+        with pytest.raises(ImpParseError):
+            parse_imp("def while(x) { return x; }")
+
+
+class TestParsedProgramsRun:
+    def test_concrete_execution(self):
+        program = parse_imp(SUM)
+        semantics = ImpSemantics({"sum": program})
+        state = imp_entry_state(program).bind("n", t.bv_const(5, 32))
+        final = run_concrete(semantics, state)
+        assert final.returned.value == 10
+
+    def test_parsed_program_validates_against_stack_machine(self):
+        program = parse_imp(SUM)
+        compiled = compile_program(program)
+        points = generate_imp_sync_points(program, compiled)
+        keq = Keq(
+            ImpSemantics({"sum": program}), StackSemantics({"sum": compiled})
+        )
+        assert keq.check_equivalence(points).verdict is Verdict.VALIDATED

@@ -1,0 +1,143 @@
+"""Tests for the IMP -> LLVM IR compiler and cross-paradigm validation."""
+
+import pytest
+
+from repro.imp import (
+    Assign,
+    BinExpr,
+    Const,
+    If,
+    ImpProgram,
+    ImpSemantics,
+    Return,
+    Var,
+    While,
+    imp_entry_state,
+)
+from repro.imp.to_llvm import (
+    compile_imp_to_llvm,
+    generate_cross_paradigm_sync_points,
+)
+from repro.keq import Keq, Verdict, default_acceptability
+from repro.llvm import ir
+from repro.llvm.semantics import LlvmSemantics, entry_state
+from repro.llvm.verify import verify_function
+from repro.semantics.run import run_concrete
+from repro.smt import t
+
+
+def sum_program() -> ImpProgram:
+    return ImpProgram(
+        name="sum",
+        parameters=("n",),
+        body=(
+            Assign("i", Const(0)),
+            Assign("acc", Const(0)),
+            While(
+                BinExpr("<", Var("i"), Var("n")),
+                (
+                    Assign("acc", BinExpr("+", Var("acc"), Var("i"))),
+                    Assign("i", BinExpr("+", Var("i"), Const(1))),
+                ),
+                label="main",
+            ),
+            Return(Var("acc")),
+        ),
+    )
+
+
+def compiled(program):
+    module = ir.Module()
+    function, slots = compile_imp_to_llvm(program, module)
+    return module, function, slots
+
+
+class TestCompiler:
+    def test_output_verifies(self):
+        _, function, _ = compiled(sum_program())
+        verify_function(function)
+
+    def test_every_variable_gets_a_slot(self):
+        _, function, slots = compiled(sum_program())
+        assert set(slots) == {"n", "i", "acc"}
+        allocas = [
+            instruction
+            for _, _, instruction in function.instructions()
+            if isinstance(instruction, ir.Alloca)
+        ]
+        assert len(allocas) == 3
+
+    def test_concrete_agreement_with_imp(self):
+        program = sum_program()
+        module, function, _ = compiled(program)
+        imp_semantics = ImpSemantics({"sum": program})
+        llvm_semantics = LlvmSemantics(module)
+        for n in (0, 1, 6):
+            imp_final = run_concrete(
+                imp_semantics,
+                imp_entry_state(program).bind("n", t.bv_const(n, 32)),
+            )
+            llvm_final = run_concrete(
+                llvm_semantics,
+                entry_state(module, function, arguments={"n": t.bv_const(n, 32)}),
+            )
+            assert imp_final.returned.value == llvm_final.returned.value
+
+
+class TestCrossParadigmValidation:
+    def validate(self, program) -> Verdict:
+        module, function, slots = compiled(program)
+        points = generate_cross_paradigm_sync_points(program, function, slots)
+        keq = Keq(
+            ImpSemantics({program.name: program}),
+            LlvmSemantics(module),
+            default_acceptability(),
+        )
+        return keq.check_equivalence(points).verdict
+
+    def test_loop_program_validates(self):
+        assert self.validate(sum_program()) is Verdict.VALIDATED
+
+    def test_branching_program_validates(self):
+        program = ImpProgram(
+            name="absdiff",
+            parameters=("a", "b"),
+            body=(
+                If(
+                    BinExpr("<", Var("a"), Var("b")),
+                    (Return(BinExpr("-", Var("b"), Var("a"))),),
+                    (Return(BinExpr("-", Var("a"), Var("b"))),),
+                ),
+            ),
+        )
+        assert self.validate(program) is Verdict.VALIDATED
+
+    def test_constraints_cross_the_paradigm_gap(self):
+        program = sum_program()
+        module, function, slots = compiled(program)
+        points = generate_cross_paradigm_sync_points(program, function, slots)
+        loop_point = next(p for p in points if p.kind == "loop")
+        kinds = {(c.left.kind, c.right.kind) for c in loop_point.constraints}
+        # env-on-the-left against mem/ptr-on-the-right: the IMP binding is
+        # related to an LLVM memory cell.
+        assert ("env", "mem") in kinds
+        assert ("ptr", "env") in kinds
+
+    def test_miscompilation_refuted(self):
+        program = sum_program()
+        module, function, slots = compiled(program)
+        # Corrupt: make the loop add 'n' instead of 'i' to the accumulator.
+        body = function.block("body2")
+        for index, instruction in enumerate(body.instructions):
+            if isinstance(instruction, ir.Load) and instruction.name == "load5":
+                body.instructions[index] = ir.Load(
+                    "load5", instruction.type, ir.LocalRef("n.slot", instruction.pointer.type)
+                )
+                break
+        points = generate_cross_paradigm_sync_points(program, function, slots)
+        keq = Keq(
+            ImpSemantics({program.name: program}),
+            LlvmSemantics(module),
+            default_acceptability(),
+        )
+        assert keq.check_equivalence(points).verdict is Verdict.NOT_VALIDATED

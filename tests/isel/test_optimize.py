@@ -1,0 +1,176 @@
+"""Unit tests for the store-merging and load-narrowing combines."""
+
+import pytest
+
+from repro.isel.bugs import BugMode
+from repro.isel.optimize import (
+    match_narrowable_load,
+    merge_constant_stores,
+    narrow_load_bytes,
+)
+from repro.llvm import parse_module
+from repro.vx86.insns import Imm, MachineBlock, MemRef, MInstr
+
+
+def store16(obj, disp, value):
+    return MInstr("store", (MemRef(2, object=obj, disp=disp), Imm(value, 16)))
+
+
+def block_of(*instructions):
+    block = MachineBlock(".LBB0")
+    block.instructions.extend(instructions)
+    return block
+
+
+class TestStoreMerging:
+    def test_adjacent_stores_merge(self):
+        block = block_of(store16("b", 0, 0x1111), store16("b", 2, 0x2222))
+        assert merge_constant_stores(block, bug=None)
+        (merged,) = block.instructions
+        assert merged.operands[0].width_bytes == 4
+        assert merged.operands[0].disp == 0
+        # little-endian composition: bytes 11 11 22 22.
+        assert merged.operands[1].value == 0x22221111
+
+    def test_reversed_program_order_composes_identically(self):
+        block = block_of(store16("b", 2, 0x2222), store16("b", 0, 0x1111))
+        assert merge_constant_stores(block, bug=None)
+        (merged,) = block.instructions
+        assert merged.operands[1].value == 0x22221111
+
+    def test_overlapping_pair_not_merged(self):
+        block = block_of(store16("b", 0, 1), store16("b", 1, 2))
+        assert not merge_constant_stores(block, bug=None)
+
+    def test_gap_pair_not_merged(self):
+        # union spans 6 bytes — not a dword.
+        block = block_of(store16("b", 0, 1), store16("b", 4, 2))
+        assert not merge_constant_stores(block, bug=None)
+
+    def test_different_objects_not_merged(self):
+        block = block_of(store16("a", 0, 1), store16("b", 2, 2))
+        assert not merge_constant_stores(block, bug=None)
+
+    def test_intervening_overlap_of_later_store_blocks_merge(self):
+        """Moving the later store's bytes backwards past a store that
+        overlaps them would reorder writes — the correct pass refuses."""
+        block = block_of(
+            store16("b", 0, 1),
+            store16("b", 1, 9),  # overlaps BOTH candidates: no pair with it
+            store16("b", 2, 2),
+        )
+        # The only disjoint dword pair is (bytes 0-2, bytes 2-4), but the
+        # intervening store writes byte 2 — moving the later store's bytes
+        # backwards past it would reorder writes.
+        assert not merge_constant_stores(block, bug=None)
+
+    def test_buggy_mode_ignores_intervening_overlap(self):
+        """The paper's PR25154 shape: earlier store moved forward past an
+        overlapping store."""
+        block = block_of(
+            store16("b", 2, 0),  # S1
+            store16("b", 3, 2),  # S2 overlaps S1 at byte 3
+            store16("b", 0, 1),  # S3
+        )
+        assert merge_constant_stores(block, bug=BugMode.WAW_STORE_MERGE)
+        stores = block.instructions
+        # Buggy placement: the merged dword (S1+S3) lands at S3's position,
+        # AFTER S2 — the write-after-write reversal.
+        assert stores[0].operands[0].disp == 3
+        assert stores[1].operands[0].width_bytes == 4
+
+    def test_correct_mode_on_paper_shape(self):
+        block = block_of(
+            store16("b", 2, 0),
+            store16("b", 3, 2),
+            store16("b", 0, 1),
+        )
+        assert merge_constant_stores(block, bug=None)
+        stores = block.instructions
+        # Correct placement: the merged dword first, overlap-preserving.
+        assert stores[0].operands[0].width_bytes == 4
+        assert stores[0].operands[0].disp == 0
+        assert stores[1].operands[0].disp == 3
+
+    def test_dynamic_store_blocks_merge(self):
+        from repro.vx86.insns import VReg
+
+        dynamic = MInstr(
+            "store", (MemRef(2, base=VReg(0, 64)), Imm(5, 16))
+        )
+        block = block_of(store16("b", 2, 0), dynamic, store16("b", 0, 1))
+        assert not merge_constant_stores(block, bug=None)
+
+
+class TestLoadNarrowing:
+    def parse_pattern(self, source):
+        module = parse_module(source)
+        function = next(iter(module.functions.values()))
+        block = function.entry_block
+        load = block.instructions[0]
+        from repro.llvm.verify import _used_locals
+
+        counts = {}
+        for _, _, instruction in function.instructions():
+            for name in _used_locals(instruction):
+                counts[name] = counts.get(name, 0) + 1
+        return match_narrowable_load(block, load, counts)
+
+    I96 = """
+@a = external global i96
+@b = external global i64
+define void @foo() {
+entry:
+  %v = load i96, i96* @a
+  %s = lshr i96 %v, 64
+  %t = trunc i96 %s to i64
+  store i64 %t, i64* @b
+  ret void
+}
+"""
+
+    def test_paper_pattern_matches(self):
+        pattern = self.parse_pattern(self.I96)
+        assert pattern is not None
+        assert pattern.byte_offset == 8
+        assert pattern.remaining_bits == 32
+        assert pattern.target_width == 64
+
+    def test_correct_width_is_remaining_bits(self):
+        pattern = self.parse_pattern(self.I96)
+        assert narrow_load_bytes(pattern, bug=None) == 4
+
+    def test_buggy_width_is_target_width(self):
+        pattern = self.parse_pattern(self.I96)
+        assert narrow_load_bytes(pattern, bug=BugMode.LOAD_NARROWING) == 8
+
+    def test_non_byte_shift_does_not_match(self):
+        pattern = self.parse_pattern(
+            """
+@a = external global i96
+define void @foo() {
+entry:
+  %v = load i96, i96* @a
+  %s = lshr i96 %v, 63
+  %t = trunc i96 %s to i64
+  ret void
+}
+"""
+        )
+        assert pattern is None
+
+    def test_multi_use_load_does_not_match(self):
+        pattern = self.parse_pattern(
+            """
+@a = external global i96
+define void @foo() {
+entry:
+  %v = load i96, i96* @a
+  %s = lshr i96 %v, 64
+  %s2 = lshr i96 %v, 32
+  %t = trunc i96 %s to i64
+  ret void
+}
+"""
+        )
+        assert pattern is None

@@ -1,0 +1,69 @@
+"""Unit tests for the acceptability relation's error-state policy (§4.6)."""
+
+from repro.keq.acceptability import (
+    Acceptability,
+    default_acceptability,
+    strict_acceptability,
+)
+from repro.memory import Memory
+from repro.semantics.state import ErrorInfo, Location, ProgramState
+
+
+def state(error_kind: str | None = None) -> ProgramState:
+    base = ProgramState(
+        location=Location("f", "entry", 0), env={}, memory=Memory.create([])
+    )
+    if error_kind is None:
+        return base
+    return base.errored(error_kind)
+
+
+class TestDefaultPolicy:
+    def test_left_error_accepted_against_anything(self):
+        policy = default_acceptability()
+        assert policy.left_error_accepted(state(ErrorInfo.OUT_OF_BOUNDS))
+        assert policy.left_error_accepted(state(ErrorInfo.DIV_BY_ZERO))
+
+    def test_running_state_not_blanket_accepted(self):
+        policy = default_acceptability()
+        assert not policy.left_error_accepted(state())
+
+    def test_matching_error_kinds_related(self):
+        policy = default_acceptability()
+        assert policy.error_pair_related(
+            state(ErrorInfo.OUT_OF_BOUNDS), state(ErrorInfo.OUT_OF_BOUNDS)
+        )
+
+    def test_mismatched_error_kinds_unrelated(self):
+        """The paper: the x86 OOB error state is related ONLY to the LLVM
+        OOB error state."""
+        policy = default_acceptability()
+        assert not policy.error_pair_related(
+            state(ErrorInfo.OUT_OF_BOUNDS), state(ErrorInfo.DIV_BY_ZERO)
+        )
+
+    def test_error_pair_requires_both_errors(self):
+        policy = default_acceptability()
+        assert not policy.error_pair_related(state(), state(ErrorInfo.DIV_BY_ZERO))
+        assert not policy.error_pair_related(state(ErrorInfo.DIV_BY_ZERO), state())
+
+
+class TestStrictPolicy:
+    def test_left_errors_not_blanket_accepted(self):
+        policy = strict_acceptability()
+        assert not policy.left_error_accepted(state(ErrorInfo.OUT_OF_BOUNDS))
+
+    def test_error_pairs_still_match_by_kind(self):
+        policy = strict_acceptability()
+        assert policy.error_pair_related(
+            state(ErrorInfo.DIV_BY_ZERO), state(ErrorInfo.DIV_BY_ZERO)
+        )
+
+
+class TestCustomMatcher:
+    def test_custom_error_matcher(self):
+        """A client may coarsen the matching (e.g. any UB matches any UB)."""
+        policy = Acceptability(error_matcher=lambda left, right: True)
+        assert policy.error_pair_related(
+            state(ErrorInfo.OUT_OF_BOUNDS), state(ErrorInfo.SIGNED_OVERFLOW)
+        )

@@ -1,0 +1,140 @@
+"""Unit tests for synchronization-point instantiation (the shared-symbol
+construction at the heart of the symbolic Algorithm 1)."""
+
+from repro.keq import (
+    EqConstraint,
+    Expr,
+    Keq,
+    StateSpec,
+    SyncPoint,
+    default_acceptability,
+)
+from repro.memory import MemoryObject, PointerValue
+from repro.semantics.state import Location
+from repro.smt import simplify, t
+
+
+class _NullSemantics:
+    language_name = "null"
+    deterministic = True
+
+    def step(self, state):
+        return []
+
+
+def keq():
+    return Keq(_NullSemantics(), _NullSemantics(), default_acceptability())
+
+
+def point(constraints, memory_objects=(), name="p"):
+    return SyncPoint(
+        name=name,
+        kind="loop",
+        left=StateSpec.at(Location("f", "L", 0)),
+        right=StateSpec.at(Location("g", "R", 0)),
+        constraints=tuple(constraints),
+        memory_objects=tuple(memory_objects),
+    )
+
+
+class TestSharedSymbols:
+    def test_env_env_share_one_symbol(self):
+        left, right = keq().instantiate(
+            point([EqConstraint(Expr.env("a", 32), Expr.env("vr0_32", 32))])
+        )
+        assert left.env["a"] is right.env["vr0_32"]
+
+    def test_lit_constraint_binds_constant(self):
+        left, right = keq().instantiate(
+            point([EqConstraint(Expr.lit(7, 32), Expr.env("vr0_32", 32))])
+        )
+        assert right.env["vr0_32"].value == 7
+
+    def test_chained_constraints_unify(self):
+        # a = vr0 and a = vr1 must give vr0 == vr1 the same symbol.
+        left, right = keq().instantiate(
+            point(
+                [
+                    EqConstraint(Expr.env("a", 32), Expr.env("vr0_32", 32)),
+                    EqConstraint(Expr.env("a", 32), Expr.env("vr1_32", 32)),
+                ]
+            )
+        )
+        assert right.env["vr0_32"] is right.env["vr1_32"]
+
+    def test_physical_subregister_gets_junk_upper_bits(self):
+        """A 32-bit constraint on rdi must NOT assume the upper 32 bits are
+        zero (the calling convention doesn't zero them).  The VC generator
+        expresses this with `junk_upper`, keeping KEQ register-agnostic."""
+        left, right = keq().instantiate(
+            point(
+                [
+                    EqConstraint(
+                        Expr.env("a", 32),
+                        Expr.env("rdi", 32),
+                        junk_upper="right",
+                    )
+                ]
+            )
+        )
+        rdi = right.env["rdi"]
+        assert rdi.width == 64
+        low = simplify(t.trunc(rdi, 32))
+        assert low is left.env["a"]
+        high = simplify(t.extract(rdi, 63, 32))
+        assert not high.is_const()  # junk, not zero
+
+    def test_i1_to_byte_constraint_zero_extends(self):
+        """width-1 = width-8 denotes zext(l) == r: the byte's upper bits
+        ARE zero (setcc writes 0/1)."""
+        left, right = keq().instantiate(
+            point([EqConstraint(Expr.env("c", 1), Expr.env("vr0_8", 8))])
+        )
+        byte = right.env["vr0_8"]
+        assert byte.width == 8
+        assert simplify(t.extract(byte, 7, 1)) is t.zero(7)
+        assert simplify(t.trunc(byte, 1)) is left.env["c"]
+
+    def test_pointer_constraint_builds_pointer_values(self):
+        left, right = keq().instantiate(
+            point(
+                [
+                    EqConstraint(
+                        Expr.env("p", 64),
+                        Expr.env("vr0_64", 64),
+                        pointer_object="stack.f.x",
+                    )
+                ],
+                memory_objects=[MemoryObject("stack.f.x", 8)],
+            )
+        )
+        assert isinstance(left.env["p"], PointerValue)
+        assert left.env["p"].object == "stack.f.x"
+        assert left.env["p"] == right.env["vr0_64"]
+
+    def test_mem_constraint_stores_shared_value(self):
+        left, right = keq().instantiate(
+            point(
+                [
+                    EqConstraint(
+                        Expr.env("v", 32), Expr.mem("spill.f", 8, 32)
+                    )
+                ],
+                memory_objects=[MemoryObject("spill.f", 16)],
+            )
+        )
+        stored = right.memory.load(
+            PointerValue("spill.f", t.bv_const(8, 64)), 4
+        )
+        assert stored is left.env["v"]
+
+    def test_memories_start_shared(self):
+        objects = [MemoryObject("g", 4)]
+        left, right = keq().instantiate(point([], memory_objects=objects))
+        assert simplify(left.memory.equal_term(right.memory)) is t.TRUE
+
+    def test_states_start_at_spec_locations(self):
+        left, right = keq().instantiate(point([]))
+        assert left.location == Location("f", "L", 0)
+        assert right.location == Location("g", "R", 0)
+        assert left.path_condition is t.TRUE

@@ -1,0 +1,48 @@
+"""Tests for verdicts, failure rendering, and report summaries."""
+
+from repro.keq.report import (
+    CheckFailure,
+    FailureReason,
+    KeqReport,
+    KeqStats,
+    Verdict,
+)
+
+
+class TestVerdict:
+    def test_ok_property(self):
+        assert Verdict.VALIDATED.ok
+        assert not Verdict.NOT_VALIDATED.ok
+        assert not Verdict.TIMEOUT.ok
+
+    def test_values_are_stable_strings(self):
+        assert Verdict.VALIDATED.value == "validated"
+        assert Verdict.TIMEOUT.value == "timeout"
+
+
+class TestCheckFailure:
+    def test_renders_with_detail(self):
+        failure = CheckFailure("p_entry", FailureReason.MEMORY, "byte 3")
+        text = str(failure)
+        assert "p_entry" in text and "memory" in text and "byte 3" in text
+
+    def test_renders_without_detail(self):
+        failure = CheckFailure("p_exit", FailureReason.PATH_CONDITION)
+        assert str(failure).endswith("not equivalent")
+
+
+class TestKeqReport:
+    def test_summary_lists_failures(self):
+        report = KeqReport(
+            Verdict.NOT_VALIDATED,
+            [CheckFailure("p0", FailureReason.CONSTRAINT, "a = b")],
+            KeqStats(points_checked=2, pairs_matched=1),
+        )
+        summary = report.summary()
+        assert "not-validated" in summary
+        assert "a = b" in summary
+        assert "points=2" in summary
+
+    def test_ok_shortcut(self):
+        assert KeqReport(Verdict.VALIDATED).ok
+        assert not KeqReport(Verdict.TIMEOUT).ok

@@ -1,0 +1,233 @@
+"""Tests for the cut-bisimulation theory layer (paper Sections 2, 7, 8).
+
+Includes the Figure 4 example: the partial-redundancy-elimination pair that
+is not strongly bisimilar but is cut-bisimilar with just the
+synchronization relation as witness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.keq.concrete import (
+    check_cut_bisimulation,
+    check_cut_simulation,
+    equivalent,
+)
+from repro.keq.theory import (
+    cut_abstract_system,
+    is_bisimulation,
+    is_cut,
+    largest_cut_bisimulation,
+)
+from repro.keq.transition import CutTransitionSystem, complete_traces
+
+
+def figure4_left() -> CutTransitionSystem:
+    """P: x=1; if(*) {y=x+1} else {y=2}  — cuts at P0, P2, P3."""
+    return CutTransitionSystem.build(
+        initial="P0",
+        edges=[("P0", "P1"), ("P1", "P2"), ("P1", "P3")],
+        cuts=["P0", "P2", "P3"],
+    )
+
+
+def figure4_right() -> CutTransitionSystem:
+    """Q: t=2; if(*) {x=1; y=t} else {y=t} — cuts at Q0, Q2, Q3."""
+    return CutTransitionSystem.build(
+        initial="Q0",
+        edges=[("Q0", "Q1"), ("Q0", "Q3"), ("Q1", "Q2"), ("Q3", "Q2")],
+        cuts=["Q0", "Q2"],
+    )
+
+
+FIGURE4_RELATION = [("P0", "Q0"), ("P2", "Q2"), ("P3", "Q2")]
+
+
+class TestCuts:
+    def test_figure4_cuts_are_cuts(self):
+        assert is_cut(figure4_left())
+        assert is_cut(figure4_right())
+
+    def test_initial_outside_cut_rejected(self):
+        system = CutTransitionSystem.build("a", [("a", "b")], cuts=["b"])
+        assert not is_cut(system)
+
+    def test_terminating_outside_cut_rejected(self):
+        system = CutTransitionSystem.build(
+            "a", [("a", "b"), ("b", "c")], cuts=["a", "b"]
+        )
+        assert not is_cut(system)  # c is final but not a cut state
+
+    def test_noncut_cycle_rejected(self):
+        # a -> b -> c -> b : the b/c cycle avoids the cut forever.
+        system = CutTransitionSystem.build(
+            "a", [("a", "b"), ("b", "c"), ("c", "b")], cuts=["a"]
+        )
+        assert not is_cut(system)
+
+    def test_cycle_through_cut_accepted(self):
+        system = CutTransitionSystem.build(
+            "a", [("a", "b"), ("b", "a")], cuts=["a"]
+        )
+        assert is_cut(system)
+
+    def test_cut_successors_skip_noncut_states(self):
+        system = figure4_left()
+        assert system.cut_successors("P0") == frozenset({"P2", "P3"})
+
+    def test_cut_successors_of_final_state_empty(self):
+        system = figure4_left()
+        assert system.cut_successors("P2") == frozenset()
+
+    def test_complete_traces_hit_cut(self):
+        """Definition 7.1, checked on all complete traces of Figure 4."""
+        system = figure4_left()
+        for trace in complete_traces(system, system.initial, max_length=10):
+            assert any(
+                trace[k] in system.cuts for k in range(1, trace.size)
+            )
+
+
+class TestAlgorithm1Concrete:
+    def test_figure4_relation_is_cut_bisimulation(self):
+        assert check_cut_bisimulation(
+            figure4_left(), figure4_right(), FIGURE4_RELATION
+        )
+
+    def test_figure4_equivalent(self):
+        assert equivalent(figure4_left(), figure4_right(), FIGURE4_RELATION)
+
+    def test_incomplete_relation_rejected(self):
+        # Dropping (P3, Q2) leaves P3 unmatched.
+        assert not check_cut_bisimulation(
+            figure4_left(), figure4_right(), [("P0", "Q0"), ("P2", "Q2")]
+        )
+
+    def test_simulation_weaker_than_bisimulation(self):
+        # Left system with fewer behaviours refines the right one.
+        left = CutTransitionSystem.build(
+            "a0", [("a0", "a1")], cuts=["a0", "a1"]
+        )
+        right = CutTransitionSystem.build(
+            "b0", [("b0", "b1"), ("b0", "b2")], cuts=["b0", "b1", "b2"]
+        )
+        relation = [("a0", "b0"), ("a1", "b1")]
+        assert check_cut_simulation(left, right, relation)
+        assert not check_cut_bisimulation(left, right, relation)
+
+    def test_relation_with_noncut_state_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            check_cut_bisimulation(
+                figure4_left(), figure4_right(), [("P1", "Q0")]
+            )
+
+    def test_empty_relation_is_trivially_bisimulation(self):
+        assert check_cut_bisimulation(figure4_left(), figure4_right(), [])
+
+
+class TestCutAbstraction:
+    def test_lemma_7_6_on_figure4(self):
+        """A cut-bisimulation is a strong bisimulation on the abstraction."""
+        left_abs = cut_abstract_system(figure4_left())
+        right_abs = cut_abstract_system(figure4_right())
+        assert is_bisimulation(left_abs, right_abs, FIGURE4_RELATION)
+
+    def test_abstraction_states_are_cuts(self):
+        abstraction = cut_abstract_system(figure4_left())
+        assert abstraction.states == figure4_left().cuts
+
+    def test_largest_cut_bisimulation_contains_witness(self):
+        largest = largest_cut_bisimulation(figure4_left(), figure4_right())
+        assert set(FIGURE4_RELATION) <= largest
+
+
+# ---------------------------------------------------------------------------
+# Property-based validation of Algorithm 1 (Theorem 8.1 / Lemma 7.6)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_cut_system(draw, prefix: str):
+    n_states = draw(st.integers(2, 6))
+    states = [f"{prefix}{i}" for i in range(n_states)]
+    edges = []
+    for source in states:
+        out_degree = draw(st.integers(0, 2))
+        for _ in range(out_degree):
+            edges.append((source, draw(st.sampled_from(states))))
+    # To guarantee the cut property cheaply: make EVERY state a cut state.
+    return CutTransitionSystem.build(states[0], edges, cuts=states, extra_states=states)
+
+
+@st.composite
+def system_pair_with_relation(draw):
+    left = draw(random_cut_system("a"))
+    right = draw(random_cut_system("b"))
+    pairs = [
+        (a, b)
+        for a in sorted(left.cuts)
+        for b in sorted(right.cuts)
+        if draw(st.booleans())
+    ]
+    return left, right, pairs
+
+
+class TestCutSuccessorProperties:
+    """Definition 7.3: s' is a cut-successor of s iff some finite trace
+    s s1 ... sn s' exists with all intermediate states outside the cut."""
+
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_cut_successors_match_trace_semantics(self, data):
+        system = data.draw(random_cut_system("s"))
+        # Use a sparser cut to make intermediate states possible.
+        states = sorted(system.states)
+        cuts = frozenset(
+            s for i, s in enumerate(states) if i % 2 == 0
+        ) | {system.initial}
+        sparse = CutTransitionSystem(
+            system.states, system.initial, system.transitions, frozenset(cuts)
+        )
+        for start in sorted(cuts):
+            computed = sparse.cut_successors(start)
+            # Reference: enumerate bounded traces and keep the first cut
+            # state hit after step 0 (Definition 7.3 verbatim).
+            reference = set()
+            stack = [[start]]
+            while stack:
+                path = stack.pop()
+                for successor in sorted(sparse.next_states(path[-1])):
+                    if successor in cuts:
+                        reference.add(successor)
+                    elif successor not in path and len(path) < 8:
+                        stack.append(path + [successor])
+            assert computed == frozenset(reference)
+
+
+class TestAlgorithm1Properties:
+    @given(data=system_pair_with_relation())
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_strong_bisimulation_when_all_states_cut(self, data):
+        """With C = S, cut-bisimulation IS strong bisimulation (Section 7),
+        so Algorithm 1 must agree with the brute-force checker."""
+        left, right, pairs = data
+        algorithm = check_cut_bisimulation(left, right, pairs)
+        brute_force = is_bisimulation(
+            cut_abstract_system(left), cut_abstract_system(right), pairs
+        )
+        assert algorithm == brute_force
+
+    @given(data=system_pair_with_relation())
+    @settings(max_examples=200, deadline=None)
+    def test_bisimulation_implies_both_simulations(self, data):
+        left, right, pairs = data
+        if check_cut_bisimulation(left, right, pairs):
+            assert check_cut_simulation(left, right, pairs)
+
+    @given(data=system_pair_with_relation())
+    @settings(max_examples=100, deadline=None)
+    def test_largest_bisimulation_passes_algorithm(self, data):
+        left, right, _ = data
+        largest = largest_cut_bisimulation(left, right)
+        assert check_cut_bisimulation(left, right, largest)

@@ -1,0 +1,215 @@
+"""Tests for the LLVM IR textual parser."""
+
+import pytest
+
+from repro.llvm import ir, parse_module
+from repro.llvm.parser import ParseError
+from repro.llvm.types import ArrayType, IntType, PointerType, StructType
+
+
+def parse_single(body: str, signature: str = "define i32 @f(i32 %x)") -> ir.Function:
+    module = parse_module(f"{signature} {{\nentry:\n{body}\n}}")
+    return next(iter(module.functions.values()))
+
+
+class TestTypes:
+    def test_integer_types(self):
+        function = parse_single("%a = add i16 7, 8\n  ret i32 %x")
+        instruction = function.entry_block.instructions[0]
+        assert instruction.type == IntType(16)
+
+    def test_wide_integer_type(self):
+        module = parse_module("@a = external global i96")
+        assert module.globals["a"].type == IntType(96)
+
+    def test_array_type(self):
+        module = parse_module("@b = external global [8 x i8]")
+        assert module.globals["b"].type == ArrayType(IntType(8), 8)
+
+    def test_nested_array_type(self):
+        module = parse_module("@m = external global [2 x [3 x i32]]")
+        assert module.globals["m"].type == ArrayType(ArrayType(IntType(32), 3), 2)
+
+    def test_struct_type(self):
+        module = parse_module("@s = external global { i32, i64 }")
+        assert module.globals["s"].type == StructType((IntType(32), IntType(64)))
+
+    def test_pointer_type(self):
+        function = parse_single("%p = alloca i32\n  ret i32 %x")
+        assert function.entry_block.instructions[0].allocated_type == IntType(32)
+
+
+class TestInstructions:
+    def test_binop_with_flags(self):
+        function = parse_single("%a = add nsw i32 %x, 1\n  ret i32 %a")
+        instruction = function.entry_block.instructions[0]
+        assert instruction.flags == ("nsw",)
+
+    def test_icmp(self):
+        function = parse_single("%c = icmp ult i32 %x, 10\n  ret i32 %x")
+        instruction = function.entry_block.instructions[0]
+        assert instruction.predicate == "ult"
+
+    def test_bad_icmp_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_single("%c = icmp weird i32 %x, 10\n  ret i32 %x")
+
+    def test_phi(self):
+        module = parse_module(
+            """
+define i32 @f(i32 %x) {
+entry:
+  br label %next
+next:
+  %v = phi i32 [ %x, %entry ]
+  ret i32 %v
+}
+"""
+        )
+        function = module.functions["f"]
+        phi = function.block("next").instructions[0]
+        assert isinstance(phi, ir.Phi)
+        assert phi.incomings[0][1] == "entry"
+
+    def test_load_with_align(self):
+        function = parse_single(
+            "%p = alloca i32\n  %v = load i32, i32* %p, align 4\n  ret i32 %v"
+        )
+        load = function.entry_block.instructions[1]
+        assert isinstance(load, ir.Load)
+
+    def test_store(self):
+        function = parse_single(
+            "%p = alloca i32\n  store i32 %x, i32* %p\n  ret i32 %x"
+        )
+        store = function.entry_block.instructions[1]
+        assert isinstance(store, ir.Store)
+
+    def test_gep_instruction(self):
+        module = parse_module(
+            """
+@b = external global [8 x i8]
+define i8* @f(i64 %i) {
+entry:
+  %p = getelementptr inbounds [8 x i8], [8 x i8]* @b, i64 0, i64 %i
+  ret i8* %p
+}
+"""
+        )
+        gep = module.functions["f"].entry_block.instructions[0]
+        assert isinstance(gep, ir.Gep)
+        assert gep.inbounds
+        assert len(gep.indices) == 2
+
+    def test_call_with_result(self):
+        function = parse_single("%r = call i32 @g(i32 %x)\n  ret i32 %r")
+        call = function.entry_block.instructions[0]
+        assert call.callee == "g"
+        assert call.name == "r"
+
+    def test_void_call(self):
+        function = parse_single("call void @g()\n  ret i32 %x")
+        call = function.entry_block.instructions[0]
+        assert call.name is None
+
+    def test_casts(self):
+        function = parse_single(
+            "%w = zext i32 %x to i64\n"
+            "  %n = trunc i64 %w to i16\n"
+            "  %s = sext i16 %n to i32\n"
+            "  ret i32 %s"
+        )
+        ops = [i.op for i in function.entry_block.instructions[:3]]
+        assert ops == ["zext", "sext"][0:1] + ["trunc", "sext"][0:2] or True
+        assert [i.op for i in function.entry_block.instructions[:3]] == [
+            "zext",
+            "trunc",
+            "sext",
+        ]
+
+    def test_conditional_branch(self):
+        module = parse_module(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %c = icmp eq i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+"""
+        )
+        branch = module.functions["f"].entry_block.terminator
+        assert branch.true_target == "a" and branch.false_target == "b"
+
+
+class TestConstExprs:
+    def test_paper_waw_store_operand(self):
+        module = parse_module(
+            """
+@b = external global [8 x i8]
+define void @foo() {
+entry:
+  store i16 0, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 2) to i16*)
+  ret void
+}
+"""
+        )
+        store = module.functions["foo"].entry_block.instructions[0]
+        cast = store.pointer
+        assert isinstance(cast, ir.ConstCast)
+        gep = cast.operand
+        assert isinstance(gep, ir.ConstGep)
+        assert gep.indices[1].value == 2
+
+    def test_paper_i96_module(self):
+        module = parse_module(
+            """
+@a = external global i96, align 4
+@b = external global i64, align 8
+define void @foo() {
+  %srcval = load i96, i96* @a, align 4
+  %tmp96 = lshr i96 %srcval, 64
+  %tmp64 = trunc i96 %tmp96 to i64
+  store i64 %tmp64, i64* @b, align 8
+  ret void
+}
+"""
+        )
+        function = module.functions["foo"]
+        # Label-less entry block is synthesized.
+        assert function.entry_block.name == "entry"
+        assert len(function.entry_block.instructions) == 5
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_single("%v = frobnicate i32 %x\n  ret i32 %x")
+
+    def test_duplicate_function(self):
+        with pytest.raises(ValueError):
+            parse_module(
+                "define void @f() {\n ret void\n}\n"
+                "define void @f() {\n ret void\n}"
+            )
+
+    def test_comments_and_whitespace_ignored(self):
+        function = parse_single(
+            "; leading comment\n  %a = add i32 %x, 1 ; trailing\n  ret i32 %a"
+        )
+        assert len(function.entry_block.instructions) == 2
+
+    def test_roundtrip_printing(self):
+        source = """
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  ret i32 %a
+}
+"""
+        module = parse_module(source)
+        reparsed = parse_module(str(module))
+        assert str(reparsed) == str(module)

@@ -1,0 +1,301 @@
+"""Tests for the LLVM IR symbolic semantics."""
+
+import pytest
+
+from repro.llvm import LlvmSemantics, entry_state, parse_module
+from repro.llvm.semantics import SemanticsError
+from repro.memory import PointerValue
+from repro.semantics.state import ErrorInfo, StatusKind
+from repro.smt import Solver, simplify, t
+from repro.smt.eval import evaluate
+
+
+def run_to_halt(semantics, state, limit=500):
+    frontier = [state]
+    halted = []
+    for _ in range(limit):
+        advanced = []
+        for current in frontier:
+            successors = semantics.step(current)
+            if successors:
+                advanced.extend(successors)
+            else:
+                halted.append(current)
+        if not advanced:
+            return halted
+        frontier = advanced
+    raise AssertionError("did not halt")
+
+
+def setup(source):
+    module = parse_module(source)
+    function = next(iter(module.functions.values()))
+    semantics = LlvmSemantics(module)
+    return module, function, semantics
+
+
+class TestArithmetic:
+    def test_add_builds_term(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 5\n  ret i32 %a\n}"
+        )
+        (final,) = run_to_halt(semantics, entry_state(module, function))
+        assert final.status is StatusKind.EXITED
+        assert final.returned is t.add(t.bv_var("arg_x", 32), t.bv_const(5, 32))
+
+    def test_concrete_folding(self):
+        module, function, semantics = setup(
+            "define i32 @f() {\nentry:\n  %a = mul i32 6, 7\n  ret i32 %a\n}"
+        )
+        (final,) = run_to_halt(semantics, entry_state(module, function))
+        assert final.returned.value == 42
+
+    def test_division_produces_error_branch(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x, i32 %y) {\nentry:\n"
+            "  %q = udiv i32 %x, %y\n  ret i32 %q\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        kinds = sorted(s.status.value for s in halted)
+        assert kinds == ["error", "exited"]
+        error = next(s for s in halted if s.status is StatusKind.ERROR)
+        assert error.error.kind == ErrorInfo.DIV_BY_ZERO
+
+    def test_division_by_nonzero_const_no_error_branch(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n  %q = udiv i32 %x, 4\n  ret i32 %q\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        assert len(halted) == 1 and halted[0].status is StatusKind.EXITED
+
+    def test_sdiv_overflow_error_branch(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x, i32 %y) {\nentry:\n"
+            "  %q = sdiv i32 %x, %y\n  ret i32 %q\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        kinds = {s.error.kind for s in halted if s.status is StatusKind.ERROR}
+        assert kinds == {ErrorInfo.DIV_BY_ZERO, ErrorInfo.SIGNED_OVERFLOW}
+
+    def test_nsw_overflow_error_branch(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %a = add nsw i32 %x, 1\n  ret i32 %a\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        error = next(s for s in halted if s.status is StatusKind.ERROR)
+        assert error.error.kind == ErrorInfo.SIGNED_OVERFLOW
+        # The overflow branch is exactly x == INT_MAX.
+        solver = Solver()
+        witness = t.eq(t.bv_var("arg_x", 32), t.bv_const(0x7FFFFFFF, 32))
+        assert solver.prove(t.iff(error.path_condition, witness))
+
+    def test_plain_add_has_no_error_branch(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 1\n  ret i32 %a\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        assert len(halted) == 1
+
+
+class TestControlFlow:
+    LOOP = """
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %acc2 = add i32 %acc, %i
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %acc
+}
+"""
+
+    def test_branch_splits_state(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %c = icmp eq i32 %x, 0\n"
+            "  br i1 %c, label %a, label %b\n"
+            "a:\n  ret i32 1\nb:\n  ret i32 2\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        returned = sorted(s.returned.value for s in halted)
+        assert returned == [1, 2]
+
+    def test_branch_path_conditions_partition(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %c = icmp eq i32 %x, 0\n"
+            "  br i1 %c, label %a, label %b\n"
+            "a:\n  ret i32 1\nb:\n  ret i32 2\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        pc1, pc2 = (s.path_condition for s in halted)
+        assert simplify(t.and_(pc1, pc2)) is t.FALSE
+        assert simplify(t.or_(pc1, pc2)) is t.TRUE
+
+    def test_phi_selects_by_predecessor(self):
+        module = parse_module(self.LOOP)
+        function = module.functions["sum"]
+        semantics = LlvmSemantics(module)
+        state = entry_state(
+            module, function, arguments={"n": t.bv_const(3, 32)}
+        )
+        halted = run_to_halt(semantics, state)
+        assert len(halted) == 1
+        # sum 0+1+2 = 3
+        assert halted[0].returned.value == 3
+
+    def test_symbolic_loop_unrolls_per_path(self):
+        module = parse_module(self.LOOP)
+        function = module.functions["sum"]
+        semantics = LlvmSemantics(module)
+        state = entry_state(module, function)
+        # Step a bounded number of times; multiple exits with different
+        # iteration counts must coexist.
+        frontier = [state]
+        exits = []
+        for _ in range(40):
+            advanced = []
+            for current in frontier:
+                for successor in semantics.step(current):
+                    if successor.status is StatusKind.EXITED:
+                        exits.append(successor)
+                    else:
+                        advanced.append(successor)
+            frontier = advanced
+        assert len(exits) >= 2
+
+    def test_concrete_loop_agrees_with_python(self):
+        module = parse_module(self.LOOP)
+        function = module.functions["sum"]
+        semantics = LlvmSemantics(module)
+        for n in (0, 1, 5):
+            state = entry_state(
+                module, function, arguments={"n": t.bv_const(n, 32)}
+            )
+            (final,) = run_to_halt(semantics, state)
+            assert final.returned.value == sum(range(n))
+
+
+class TestMemory:
+    def test_alloca_store_load_roundtrip(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %p = alloca i32\n"
+            "  store i32 %x, i32* %p\n"
+            "  %v = load i32, i32* %p\n"
+            "  ret i32 %v\n}"
+        )
+        (final,) = run_to_halt(semantics, entry_state(module, function))
+        assert final.returned is t.bv_var("arg_x", 32)
+
+    def test_global_store_visible(self):
+        module, function, semantics = setup(
+            "@g = external global i32\n"
+            "define i32 @f() {\nentry:\n"
+            "  store i32 7, i32* @g\n"
+            "  %v = load i32, i32* @g\n"
+            "  ret i32 %v\n}"
+        )
+        (final,) = run_to_halt(semantics, entry_state(module, function))
+        assert final.returned.value == 7
+
+    def test_gep_constant_indexing(self):
+        module, function, semantics = setup(
+            "@arr = external global [4 x i32]\n"
+            "define i32 @f() {\nentry:\n"
+            "  %p = getelementptr inbounds [4 x i32], [4 x i32]* @arr, i64 0, i64 2\n"
+            "  store i32 9, i32* %p\n"
+            "  %v = load i32, i32* %p\n"
+            "  ret i32 %v\n}"
+        )
+        (final,) = run_to_halt(semantics, entry_state(module, function))
+        assert final.returned.value == 9
+
+    def test_gep_symbolic_index_oob_branch(self):
+        module, function, semantics = setup(
+            "@arr = external global [4 x i32]\n"
+            "define i32 @f(i64 %i) {\nentry:\n"
+            "  %p = getelementptr inbounds [4 x i32], [4 x i32]* @arr, i64 0, i64 %i\n"
+            "  %v = load i32, i32* %p\n"
+            "  ret i32 %v\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        errors = [s for s in halted if s.status is StatusKind.ERROR]
+        assert len(errors) == 1
+        assert errors[0].error.kind == ErrorInfo.OUT_OF_BOUNDS
+        # In-bounds witness i=3 satisfies the exit path, i=4 the error path.
+        exit_state = next(s for s in halted if s.status is StatusKind.EXITED)
+        assert evaluate(exit_state.path_condition, {"arg_i": 3}) is True
+        assert evaluate(errors[0].path_condition, {"arg_i": 4}) is True
+
+    def test_oob_constant_access_always_errors(self):
+        module, function, semantics = setup(
+            "@arr = external global [4 x i8]\n"
+            "define i32 @f() {\nentry:\n"
+            "  %p = getelementptr inbounds [4 x i8], [4 x i8]* @arr, i64 0, i64 2\n"
+            "  %q = bitcast i8* %p to i32*\n"
+            "  %v = load i32, i32* %q\n"
+            "  ret i32 %v\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        assert len(halted) == 1
+        assert halted[0].status is StatusKind.ERROR
+
+    def test_ptrtoint_inttoptr_roundtrip(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %p = alloca i32\n"
+            "  store i32 %x, i32* %p\n"
+            "  %n = ptrtoint i32* %p to i64\n"
+            "  %q = inttoptr i64 %n to i32*\n"
+            "  %v = load i32, i32* %q\n"
+            "  ret i32 %v\n}"
+        )
+        (final,) = run_to_halt(semantics, entry_state(module, function))
+        assert final.returned is t.bv_var("arg_x", 32)
+
+
+class TestCalls:
+    def test_call_pauses_state(self):
+        module, function, semantics = setup(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = call i32 @g(i32 %x)\n"
+            "  %a = add i32 %r, 1\n"
+            "  ret i32 %a\n}"
+        )
+        halted = run_to_halt(semantics, entry_state(module, function))
+        assert len(halted) == 1
+        state = halted[0]
+        assert state.status is StatusKind.CALLING
+        assert state.call.callee == "g"
+        assert state.call.arguments[0] is t.bv_var("arg_x", 32)
+        assert state.call.result_name == "r"
+
+    def test_undef_rejected(self):
+        module, function, semantics = setup(
+            "define i32 @f() {\nentry:\n  %a = add i32 undef, 1\n  ret i32 %a\n}"
+        )
+        with pytest.raises(SemanticsError):
+            run_to_halt(semantics, entry_state(module, function))
+
+
+class TestPointerEquality:
+    def test_same_object_pointer_compare(self):
+        module, function, semantics = setup(
+            "@g = external global [4 x i8]\n"
+            "define i1 @f() {\nentry:\n"
+            "  %p = getelementptr inbounds [4 x i8], [4 x i8]* @g, i64 0, i64 1\n"
+            "  %q = getelementptr inbounds [4 x i8], [4 x i8]* @g, i64 0, i64 1\n"
+            "  %c = icmp eq i8* %p, %q\n"
+            "  ret i1 %c\n}"
+        )
+        (final,) = run_to_halt(semantics, entry_state(module, function))
+        assert final.returned.value == 1

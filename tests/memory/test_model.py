@@ -1,0 +1,232 @@
+"""Tests for the common memory model (the paper's common.k analogue)."""
+
+import pytest
+
+from repro.memory import (
+    AccessError,
+    Memory,
+    MemoryObject,
+    PointerValue,
+    interpret_pointer,
+    object_base_var,
+)
+from repro.smt import Solver, simplify, t
+
+
+def fresh_memory(**sizes: int) -> Memory:
+    return Memory.create([MemoryObject(name, size) for name, size in sizes.items()])
+
+
+def ptr(obj: str, off: int = 0) -> PointerValue:
+    return PointerValue(obj, t.bv_const(off, 64))
+
+
+class TestStoreLoadRoundtrip:
+    def test_byte_roundtrip(self):
+        memory = fresh_memory(g=8)
+        value = t.bv_const(0xAB, 8)
+        memory = memory.store(ptr("g", 3), value, 1)
+        assert memory.load(ptr("g", 3), 1) is value
+
+    def test_word_roundtrip(self):
+        memory = fresh_memory(g=8)
+        value = t.bv_var("v", 32)
+        memory = memory.store(ptr("g", 0), value, 4)
+        assert memory.load(ptr("g", 0), 4) is value
+
+    def test_little_endian_layout(self):
+        memory = fresh_memory(g=8)
+        memory = memory.store(ptr("g", 0), t.bv_const(0x11223344, 32), 4)
+        assert memory.load(ptr("g", 0), 1).value == 0x44
+        assert memory.load(ptr("g", 3), 1).value == 0x11
+
+    def test_overlapping_store_shadows(self):
+        memory = fresh_memory(g=8)
+        memory = memory.store(ptr("g", 0), t.bv_const(0x1111, 16), 2)
+        memory = memory.store(ptr("g", 1), t.bv_const(0x2222, 16), 2)
+        # Byte 0 from the first store, bytes 1-2 from the second.
+        assert memory.load(ptr("g", 0), 1).value == 0x11
+        assert memory.load(ptr("g", 1), 1).value == 0x22
+        assert memory.load(ptr("g", 2), 1).value == 0x22
+
+    def test_write_after_write_order_is_observable(self):
+        """The paper's WAW bug (Fig. 8/9) depends on exactly this."""
+        memory = fresh_memory(b=8)
+        memory = memory.store(ptr("b", 2), t.bv_const(0, 16), 2)
+        memory = memory.store(ptr("b", 3), t.bv_const(2, 16), 2)
+        reordered = fresh_memory(b=8)
+        reordered = reordered.store(ptr("b", 3), t.bv_const(2, 16), 2)
+        reordered = reordered.store(ptr("b", 2), t.bv_const(0, 16), 2)
+        # Byte 3 differs: 0x02 vs 0x00.
+        assert memory.load(ptr("b", 3), 1).value == 0x02
+        assert reordered.load(ptr("b", 3), 1).value == 0x00
+
+    def test_initial_bytes_are_deterministic_symbols(self):
+        memory_a = fresh_memory(g=4)
+        memory_b = fresh_memory(g=4)
+        assert memory_a.load(ptr("g", 0), 1) is memory_b.load(ptr("g", 0), 1)
+
+    def test_store_width_mismatch_raises(self):
+        memory = fresh_memory(g=8)
+        with pytest.raises(AccessError):
+            memory.store(ptr("g", 0), t.bv_const(1, 32), 2)
+
+    def test_unknown_object_raises(self):
+        memory = fresh_memory(g=8)
+        with pytest.raises(AccessError):
+            memory.load(ptr("nope", 0), 1)
+
+
+class TestSymbolicOffsets:
+    def test_symbolic_store_then_matching_load(self):
+        index = t.bv_var("i", 64)
+        memory = fresh_memory(g=16)
+        value = t.bv_var("v", 8)
+        memory = memory.store(PointerValue("g", index), value, 1)
+        loaded = memory.load(PointerValue("g", index), 1)
+        assert simplify(loaded) is value
+
+    def test_symbolic_load_over_concrete_store_builds_ite(self):
+        memory = fresh_memory(g=4)
+        memory = memory.store(ptr("g", 1), t.bv_const(7, 8), 1)
+        index = t.bv_var("i", 64)
+        loaded = memory.load(PointerValue("g", index), 1)
+        solver = Solver()
+        pinned = t.implies(
+            t.eq(index, t.bv_const(1, 64)), t.eq(loaded, t.bv_const(7, 8))
+        )
+        assert solver.prove(pinned)
+
+    def test_symbolic_load_unwritten_is_select(self):
+        memory = fresh_memory(g=4)
+        index = t.bv_var("i", 64)
+        loaded = memory.load(PointerValue("g", index), 1)
+        assert loaded.op == "select"
+
+    def test_concrete_load_after_symbolic_store_is_conditional(self):
+        index = t.bv_var("i", 64)
+        memory = fresh_memory(g=16)
+        memory = memory.store(PointerValue("g", index), t.bv_const(9, 8), 1)
+        loaded = memory.load(ptr("g", 2), 1)
+        solver = Solver()
+        assert solver.prove(
+            t.implies(t.eq(index, t.bv_const(2, 64)), t.eq(loaded, t.bv_const(9, 8)))
+        )
+
+
+class TestBounds:
+    def test_concrete_in_bounds(self):
+        memory = fresh_memory(g=8)
+        assert memory.in_bounds_condition(ptr("g", 0), 8) is t.TRUE
+        assert memory.in_bounds_condition(ptr("g", 4), 4) is t.TRUE
+
+    def test_concrete_out_of_bounds(self):
+        memory = fresh_memory(g=8)
+        assert memory.in_bounds_condition(ptr("g", 5), 4) is t.FALSE
+        assert memory.in_bounds_condition(ptr("g", 8), 1) is t.FALSE
+
+    def test_access_wider_than_object(self):
+        memory = fresh_memory(g=2)
+        assert memory.in_bounds_condition(ptr("g", 0), 4) is t.FALSE
+
+    def test_paper_load_narrowing_shape(self):
+        """An 8-byte load at offset 8 of a 12-byte object is OOB — the
+        observable of the paper's second reintroduced bug (Fig. 10/11)."""
+        memory = fresh_memory(a=12)
+        assert memory.in_bounds_condition(ptr("a", 8), 4) is t.TRUE
+        assert memory.in_bounds_condition(ptr("a", 8), 8) is t.FALSE
+
+    def test_symbolic_offset_condition(self):
+        memory = fresh_memory(g=8)
+        index = t.bv_var("i", 64)
+        condition = memory.in_bounds_condition(PointerValue("g", index), 4)
+        solver = Solver()
+        assert solver.prove(
+            t.implies(t.eq(index, t.bv_const(4, 64)), condition)
+        )
+        assert solver.prove(
+            t.implies(t.eq(index, t.bv_const(5, 64)), t.not_(condition))
+        )
+
+
+class TestPointerMaterialization:
+    def test_roundtrip_through_term(self):
+        pointer = ptr("g", 4)
+        recovered = interpret_pointer(pointer.materialize())
+        assert recovered is not None
+        assert recovered.object == "g"
+        assert simplify(recovered.offset).value == 4
+
+    def test_base_only_pointer(self):
+        recovered = interpret_pointer(object_base_var("g"))
+        assert recovered == PointerValue("g", t.zero(64))
+
+    def test_non_pointer_term_is_none(self):
+        assert interpret_pointer(t.bv_var("x", 64)) is None
+
+    def test_roundtrip_through_memory(self):
+        """Store a pointer into memory, load it back, recover the object."""
+        memory = fresh_memory(g=8, slot=8)
+        pointer_term = ptr("g", 4).materialize()
+        memory = memory.store(ptr("slot", 0), pointer_term, 8)
+        loaded = memory.load(ptr("slot", 0), 8)
+        recovered = interpret_pointer(simplify(loaded))
+        assert recovered is not None and recovered.object == "g"
+
+    def test_moved_pointer(self):
+        moved = ptr("g", 4).moved(t.bv_const(2, 64))
+        assert moved.offset.value == 6
+
+
+class TestMemoryEquality:
+    def test_identical_memories_equal(self):
+        memory = fresh_memory(g=4)
+        assert simplify(memory.equal_term(memory)) is t.TRUE
+
+    def test_same_stores_equal(self):
+        first = fresh_memory(g=4).store(ptr("g", 0), t.bv_const(5, 8), 1)
+        second = fresh_memory(g=4).store(ptr("g", 0), t.bv_const(5, 8), 1)
+        assert simplify(first.equal_term(second)) is t.TRUE
+
+    def test_different_contents_not_equal(self):
+        first = fresh_memory(g=4).store(ptr("g", 0), t.bv_const(5, 8), 1)
+        second = fresh_memory(g=4).store(ptr("g", 0), t.bv_const(6, 8), 1)
+        assert simplify(first.equal_term(second)) is t.FALSE
+
+    def test_symbolic_but_identical_stores_equal(self):
+        value = t.bv_var("v", 8)
+        first = fresh_memory(g=4).store(ptr("g", 1), value, 1)
+        second = fresh_memory(g=4).store(ptr("g", 1), value, 1)
+        assert simplify(first.equal_term(second)) is t.TRUE
+
+    def test_missing_object_is_inequality(self):
+        first = fresh_memory(g=4)
+        second = fresh_memory(g=4, extra=2)
+        assert first.equal_term(second) is t.FALSE
+
+    def test_object_subset_selection(self):
+        first = fresh_memory(g=4, h=4).store(ptr("h", 0), t.bv_const(1, 8), 1)
+        second = fresh_memory(g=4, h=4).store(ptr("h", 0), t.bv_const(2, 8), 1)
+        assert simplify(first.equal_term(second, objects=["g"])) is t.TRUE
+        assert simplify(first.equal_term(second, objects=["h"])) is t.FALSE
+
+
+class TestCompaction:
+    def test_long_concrete_chains_compact(self):
+        memory = fresh_memory(g=64)
+        for i in range(40):
+            memory = memory.store(ptr("g", i % 64), t.bv_const(i, 8), 1)
+        contents = memory.object("g")
+        assert len(contents.writes) <= 33
+        assert memory.load(ptr("g", 39), 1).value == 39
+
+    def test_alloca_object_added_dynamically(self):
+        memory = fresh_memory(g=4)
+        memory = memory.add_object(MemoryObject("stack0", 4, kind="stack"))
+        memory = memory.store(ptr("stack0", 0), t.bv_const(1, 32), 4)
+        assert memory.load(ptr("stack0", 0), 4).value == 1
+
+    def test_duplicate_object_rejected(self):
+        memory = fresh_memory(g=4)
+        with pytest.raises(AccessError):
+            memory.add_object(MemoryObject("g", 4))

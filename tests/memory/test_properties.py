@@ -1,0 +1,118 @@
+"""Property-based tests of the common memory model (store/load axioms)."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.memory import Memory, MemoryObject, PointerValue
+from repro.smt import Solver, simplify, t
+from repro.smt.eval import evaluate
+
+SIZE = 16
+
+offsets = st.integers(0, SIZE - 1)
+widths = st.sampled_from([1, 2, 4, 8])
+values = st.integers(0, 2**64 - 1)
+
+
+def fresh() -> Memory:
+    return Memory.create([MemoryObject("obj", SIZE)])
+
+
+def ptr(offset: int) -> PointerValue:
+    return PointerValue("obj", t.bv_const(offset, 64))
+
+
+@st.composite
+def store_sequences(draw):
+    count = draw(st.integers(0, 6))
+    sequence = []
+    for _ in range(count):
+        width = draw(widths)
+        offset = draw(st.integers(0, SIZE - width))
+        value = draw(values)
+        sequence.append((offset, width, value))
+    return sequence
+
+
+def python_model(sequence):
+    """Reference byte array semantics."""
+    memory = [None] * SIZE
+    for offset, width, value in sequence:
+        for i in range(width):
+            memory[offset + i] = (value >> (8 * i)) & 0xFF
+    return memory
+
+
+class TestStoreLoadAxioms:
+    @given(sequence=store_sequences())
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_reference_bytes(self, sequence):
+        memory = fresh()
+        for offset, width, value in sequence:
+            memory = memory.store(
+                ptr(offset), t.bv_const(value, width * 8), width
+            )
+        reference = python_model(sequence)
+        for index, expected in enumerate(reference):
+            loaded = memory.load(ptr(index), 1)
+            if expected is None:
+                assert not loaded.is_const()  # still the initial symbol
+            else:
+                assert loaded.is_const() and loaded.value == expected
+
+    @given(sequence=store_sequences(), offset=offsets, width=widths)
+    @settings(max_examples=150, deadline=None)
+    def test_wide_load_composes_bytes(self, sequence, offset, width):
+        assume(offset + width <= SIZE)
+        memory = fresh()
+        for off, w, value in sequence:
+            memory = memory.store(ptr(off), t.bv_const(value, w * 8), w)
+        reference = python_model(sequence)
+        loaded = memory.load(ptr(offset), width)
+        if all(reference[offset + i] is not None for i in range(width)):
+            expected = int.from_bytes(
+                bytes(reference[offset + i] for i in range(width)), "little"
+            )
+            assert loaded.is_const() and loaded.value == expected
+
+    @given(offset=st.integers(0, SIZE - 4), value=values)
+    @settings(max_examples=100, deadline=None)
+    def test_store_then_load_identity(self, offset, value):
+        memory = fresh().store(ptr(offset), t.bv_const(value, 32), 4)
+        assert memory.load(ptr(offset), 4).value == value & 0xFFFFFFFF
+
+    @given(
+        offset_a=st.integers(0, SIZE - 4),
+        offset_b=st.integers(0, SIZE - 4),
+        value=values,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_disjoint_store_preserves(self, offset_a, offset_b, value):
+        assume(abs(offset_a - offset_b) >= 4)
+        first = t.bv_var("v0", 32)
+        memory = fresh().store(ptr(offset_a), first, 4)
+        memory = memory.store(ptr(offset_b), t.bv_const(value, 32), 4)
+        assert memory.load(ptr(offset_a), 4) is first
+
+
+class TestSymbolicOffsetSoundness:
+    @given(
+        store_offset=st.integers(0, SIZE - 1),
+        read_offset=st.integers(0, SIZE - 1),
+        value=st.integers(0, 255),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symbolic_read_matches_concrete(self, store_offset, read_offset, value):
+        """A load at a symbolic offset, pinned by the solver to a concrete
+        offset, must equal the direct concrete load."""
+        memory = fresh().store(
+            ptr(store_offset), t.bv_const(value, 8), 1
+        )
+        index = t.bv_var("idx", 64)
+        symbolic = memory.load(PointerValue("obj", index), 1)
+        concrete = memory.load(ptr(read_offset), 1)
+        solver = Solver()
+        pinned = t.implies(
+            t.eq(index, t.bv_const(read_offset, 64)),
+            t.eq(symbolic, concrete),
+        )
+        assert solver.prove(pinned)

@@ -1,0 +1,134 @@
+"""Tests for the peephole copy-propagation pass and its black-box
+validation — the second client of the x86~x86 TV pipeline."""
+
+import pytest
+
+from repro.isel import select_function
+from repro.keq import Keq, KeqOptions, Verdict, default_acceptability
+from repro.llvm import parse_module
+from repro.memory import Memory
+from repro.regalloc import eliminate_phis, generate_regalloc_sync_points
+from repro.regalloc.peephole import copy_propagate
+from repro.regalloc.vcgen import RegAllocVcError
+from repro.semantics.run import run_concrete
+from repro.smt import t
+from repro.vx86 import parse_machine_function
+from repro.vx86.semantics import Vx86Semantics, machine_entry_state
+
+LOOP = """
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %acc2 = add i32 %acc, %i
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %acc
+}
+"""
+
+#: A COPY whose source is redefined before the destination's use: the
+#: sloppy variant propagates the stale source.
+REDEFINITION = """
+f:
+.LBB0:
+  %vr0_32 = COPY edi
+  %vr1_32 = COPY %vr0_32
+  %vr0_32 = add %vr0_32, 1
+  eax = COPY %vr1_32
+  ret
+"""
+
+
+def validate_pair(input_function, output_function) -> Verdict:
+    try:
+        points = generate_regalloc_sync_points(input_function, output_function)
+    except RegAllocVcError:
+        return Verdict.NOT_VALIDATED
+    keq = Keq(
+        Vx86Semantics({input_function.name: input_function}),
+        Vx86Semantics({output_function.name: output_function}),
+        default_acceptability(),
+        KeqOptions(max_steps=20000, max_pair_checks=10000),
+    )
+    return keq.check_equivalence(points).verdict
+
+
+def loop_input():
+    module = parse_module(LOOP)
+    machine, _ = select_function(module, module.function("sum"))
+    return eliminate_phis(machine)
+
+
+class TestPass:
+    def test_propagates_copies(self):
+        function = loop_input()
+        optimized = copy_propagate(function)
+        header = optimized.block(".LBB1")
+        cmp = next(i for i in header.instructions if i.opcode == "cmp")
+        # cmp's operand was %vr1 (a copy of %vr8); it now reads %vr8.
+        assert str(cmp.operands[0]) == "%vr8_32"
+
+    def test_behaviour_preserved_concretely(self):
+        function = loop_input()
+        optimized = copy_propagate(function)
+        for n in (0, 3, 9):
+            registers = {"rdi": t.bv_const(n, 64)}
+            before = run_concrete(
+                Vx86Semantics({function.name: function}),
+                machine_entry_state(function, Memory.create([]), registers),
+            )
+            after = run_concrete(
+                Vx86Semantics({optimized.name: optimized}),
+                machine_entry_state(optimized, Memory.create([]), registers),
+            )
+            assert before.returned.value == after.returned.value
+
+    def test_sloppy_variant_miscompiles_redefinition(self):
+        function = parse_machine_function(REDEFINITION)
+        correct = copy_propagate(function)
+        sloppy = copy_propagate(function, sloppy=True)
+        registers = {"rdi": t.bv_const(10, 64)}
+
+        def run(machine):
+            return run_concrete(
+                Vx86Semantics({machine.name: machine}),
+                machine_entry_state(machine, Memory.create([]), registers),
+            ).returned.value
+
+        assert run(function) == 10
+        assert run(correct) == 10
+        assert run(sloppy) == 11  # the stale propagated source
+
+
+class TestBlackBoxValidation:
+    def test_correct_pass_validates(self):
+        function = loop_input()
+        assert validate_pair(function, copy_propagate(function)) is Verdict.VALIDATED
+
+    def test_sloppy_pass_refused_on_trigger(self):
+        function = parse_machine_function(REDEFINITION)
+        sloppy = copy_propagate(function, sloppy=True)
+        assert validate_pair(function, sloppy) is Verdict.NOT_VALIDATED
+
+    def test_correct_pass_on_trigger_validates(self):
+        function = parse_machine_function(REDEFINITION)
+        assert validate_pair(function, copy_propagate(function)) is Verdict.VALIDATED
+
+    def test_same_vcgen_used_for_both_clients(self):
+        """The allocation VC generator is transformation-agnostic: it never
+        saw the peephole pass and still validates it (the black-box
+        property the paper claims for its register-allocation work)."""
+        import repro.regalloc.vcgen as vcgen_module
+        import repro.regalloc.peephole as peephole_module
+
+        source = open(vcgen_module.__file__).read()
+        assert "peephole" not in source
+        assert "copy_propagate" not in source
+        del peephole_module

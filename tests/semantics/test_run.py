@@ -1,0 +1,83 @@
+"""Tests for the concrete/symbolic execution drivers."""
+
+import pytest
+
+from repro.llvm import LlvmSemantics, entry_state, parse_module
+from repro.semantics.run import ExecutionError, run_concrete, run_symbolic
+from repro.semantics.state import StatusKind
+from repro.smt import t
+
+BRANCHY = """
+define i32 @f(i32 %x) {
+entry:
+  %c = icmp eq i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+"""
+
+
+def setup(source):
+    module = parse_module(source)
+    function = next(iter(module.functions.values()))
+    return module, function, LlvmSemantics(module)
+
+
+class TestRunConcrete:
+    def test_concrete_execution(self):
+        module, function, semantics = setup(BRANCHY)
+        state = entry_state(module, function, arguments={"x": t.bv_const(0, 32)})
+        final = run_concrete(semantics, state)
+        assert final.returned.value == 1
+
+    def test_symbolic_branch_raises(self):
+        module, function, semantics = setup(BRANCHY)
+        state = entry_state(module, function)  # symbolic argument
+        with pytest.raises(ExecutionError):
+            run_concrete(semantics, state)
+
+    def test_step_limit_raises(self):
+        module, function, semantics = setup(
+            "define i32 @f() {\nentry:\n  br label %entry2\n"
+            "entry2:\n  br label %entry2\n}"
+        )
+        state = entry_state(module, function)
+        with pytest.raises(ExecutionError):
+            run_concrete(semantics, state, max_steps=10)
+
+
+class TestRunSymbolic:
+    def test_collects_all_paths(self):
+        module, function, semantics = setup(BRANCHY)
+        halted = run_symbolic(semantics, entry_state(module, function))
+        assert len(halted) == 2
+        assert {s.returned.value for s in halted} == {1, 2}
+
+    def test_budget_raises(self):
+        module, function, semantics = setup(
+            """
+define i32 @g(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %head2 ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %head2, label %out
+head2:
+  %inc = add i32 %i, 1
+  br label %head
+out:
+  ret i32 %i
+}
+"""
+        )
+        with pytest.raises(ExecutionError):
+            run_symbolic(semantics, entry_state(module, function), max_steps=40)
+
+    def test_halted_states_are_final(self):
+        module, function, semantics = setup(BRANCHY)
+        for state in run_symbolic(semantics, entry_state(module, function)):
+            assert state.status is not StatusKind.RUNNING

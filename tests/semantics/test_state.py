@@ -1,0 +1,112 @@
+"""Tests for the shared program-state shape and the Semantics protocol."""
+
+import pytest
+
+from repro.llvm.semantics import LlvmSemantics
+from repro.memory import Memory, PointerValue
+from repro.semantics import Semantics
+from repro.semantics.state import (
+    CallMarker,
+    ErrorInfo,
+    Location,
+    ProgramState,
+    StatusKind,
+    value_term,
+)
+from repro.smt import t
+from repro.vx86.semantics import Vx86Semantics
+
+
+def fresh_state() -> ProgramState:
+    return ProgramState(
+        location=Location("f", "entry", 0),
+        env={"x": t.bv_var("x", 32)},
+        memory=Memory.create([]),
+    )
+
+
+class TestProgramState:
+    def test_bind_is_persistent(self):
+        state = fresh_state()
+        bound = state.bind("y", t.bv_const(1, 32))
+        assert "y" in bound.env
+        assert "y" not in state.env
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            fresh_state().lookup("nope")
+
+    def test_assuming_accumulates_conjunction(self):
+        state = fresh_state()
+        p = t.bool_var("p")
+        q = t.bool_var("q")
+        state = state.assuming(p).assuming(q)
+        assert state.path_condition is t.and_(p, q)
+
+    def test_assuming_false_is_syntactically_infeasible(self):
+        state = fresh_state().assuming(t.FALSE)
+        assert not state.is_feasible_syntactically
+
+    def test_advanced_increments_index_and_steps(self):
+        state = fresh_state()
+        advanced = state.advanced()
+        assert advanced.location.index == 1
+        assert advanced.steps == state.steps + 1
+
+    def test_at_records_previous_block(self):
+        state = fresh_state()
+        moved = state.at(Location("f", "next", 0), prev_block="entry")
+        assert moved.prev_block == "entry"
+
+    def test_exited_state_is_halted(self):
+        state = fresh_state().exited(t.bv_const(1, 32))
+        assert state.status is StatusKind.EXITED
+        assert not state.is_running
+
+    def test_errored_state_carries_kind(self):
+        state = fresh_state().errored(ErrorInfo.OUT_OF_BOUNDS, "load")
+        assert state.error.kind == ErrorInfo.OUT_OF_BOUNDS
+        assert "out_of_bounds" in state.describe()
+
+    def test_calling_state_carries_marker(self):
+        marker = CallMarker(
+            callee="g",
+            arguments=(t.bv_const(1, 32),),
+            result_name="r",
+            return_location=Location("f", "entry", 1),
+        )
+        state = fresh_state().calling(marker)
+        assert state.status is StatusKind.CALLING
+        assert state.call.callee == "g"
+
+    def test_value_term_materializes_pointers(self):
+        pointer = PointerValue("g", t.bv_const(4, 64))
+        term = value_term(pointer)
+        assert term.width == 64
+
+    def test_describe_variants(self):
+        assert "at" in fresh_state().describe()
+        assert "exited" in fresh_state().exited(None).describe()
+
+
+class TestSemanticsProtocol:
+    def test_llvm_semantics_satisfies_protocol(self):
+        from repro.llvm import ir
+
+        assert isinstance(LlvmSemantics(ir.Module()), Semantics)
+
+    def test_vx86_semantics_satisfies_protocol(self):
+        assert isinstance(Vx86Semantics({}), Semantics)
+
+    def test_imp_semantics_satisfies_protocol(self):
+        from repro.imp import ImpSemantics, StackSemantics
+
+        assert isinstance(ImpSemantics({}), Semantics)
+        assert isinstance(StackSemantics({}), Semantics)
+
+    def test_halted_states_have_no_successors(self):
+        from repro.llvm import ir
+
+        semantics = LlvmSemantics(ir.Module())
+        assert semantics.step(fresh_state().exited(None)) == []
+        assert semantics.step(fresh_state().errored("x")) == []

@@ -1,0 +1,104 @@
+"""Tests for the term pretty-printer and the concrete evaluator."""
+
+import pytest
+
+from repro.smt import t
+from repro.smt.eval import EvalError, evaluate
+from repro.smt.printer import sort_str, to_str
+
+
+class TestPrinter:
+    def test_constants(self):
+        assert to_str(t.bv_const(42, 32)) == "42:32"
+        assert to_str(t.TRUE) == "true"
+        assert to_str(t.FALSE) == "false"
+
+    def test_variables(self):
+        assert to_str(t.bv_var("x", 8)) == "x"
+        assert to_str(t.bool_var("p")) == "p"
+
+    def test_infix_operators(self):
+        x = t.bv_var("x", 8)
+        y = t.bv_var("y", 8)
+        rendered = to_str(t.add(x, y))
+        assert "+" in rendered and "x" in rendered and "y" in rendered
+
+    def test_comparison_renders(self):
+        x = t.bv_var("x", 8)
+        assert "<u" in to_str(t.ult(x, t.bv_const(3, 8)))
+        assert "<s" in to_str(t.slt(x, t.bv_const(3, 8)))
+
+    def test_ite_renders(self):
+        p = t.bool_var("p")
+        rendered = to_str(t.ite(p, t.bv_const(1, 8), t.bv_const(2, 8)))
+        assert "if" in rendered and "then" in rendered and "else" in rendered
+
+    def test_extract_renders_bounds(self):
+        x = t.bv_var("x", 32)
+        assert "[15:8]" in to_str(t.extract(x, 15, 8))
+
+    def test_depth_limit_elides(self):
+        x = t.bv_var("x", 8)
+        deep = x
+        for i in range(30):
+            deep = t.add(deep, t.bv_var(f"v{i}", 8))
+        assert "..." in to_str(deep, max_depth=4)
+
+    def test_sort_str(self):
+        assert sort_str(t.bv_var("x", 16)) == "i16"
+        assert sort_str(t.bool_var("p")) == "Bool"
+
+
+class TestEvaluator:
+    ENV = {"x": 200, "y": 3, "p": True}
+
+    def test_arithmetic_wraps(self):
+        x = t.bv_var("x", 8)
+        assert evaluate(t.add(x, x), self.ENV) == (400) & 0xFF
+
+    def test_signed_ops(self):
+        x = t.bv_var("x", 8)  # 200 = -56 signed
+        y = t.bv_var("y", 8)
+        # sdiv truncates toward zero: -56 / 3 == -18.
+        assert evaluate(t.sdiv(x, y), self.ENV) == t.truncate(-18, 8)
+        assert evaluate(t.slt(x, y), self.ENV) is True  # -56 < 3
+
+    def test_shifts(self):
+        x = t.bv_var("x", 8)
+        assert evaluate(t.shl(x, t.bv_const(1, 8)), self.ENV) == (400 & 0xFF)
+        assert evaluate(t.lshr(x, t.bv_const(2, 8)), self.ENV) == 200 >> 2
+        assert (
+            evaluate(t.ashr(x, t.bv_const(2, 8)), self.ENV)
+            == t.truncate(-56 >> 2, 8)
+        )
+
+    def test_oversized_shift_is_zero(self):
+        x = t.bv_var("x", 8)
+        assert evaluate(t.shl(x, t.bv_const(9, 8)), self.ENV) == 0
+
+    def test_extract_concat_roundtrip(self):
+        x = t.bv_var("x", 8)
+        y = t.bv_var("y", 8)
+        combined = t.concat(x, y)
+        assert evaluate(combined, self.ENV) == (200 << 8) | 3
+        assert evaluate(t.extract(combined, 15, 8), self.ENV) == 200
+
+    def test_bool_connectives(self):
+        p = t.bool_var("p")
+        assert evaluate(t.and_(p, t.not_(p)), self.ENV) is False
+        assert evaluate(t.or_(p, t.not_(p)), self.ENV) is True
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(t.bv_var("missing", 8), {})
+
+    def test_select_handler(self):
+        read = t.select("mem", t.bv_const(3, 64))
+        result = evaluate(
+            read, {}, select_handler=lambda arr, off, width: off * 10
+        )
+        assert result == 30
+
+    def test_select_without_handler_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(t.select("mem", t.bv_const(0, 64)), {})

@@ -1,0 +1,124 @@
+"""Property-based tests of the SMT stack with hypothesis.
+
+Three core invariants:
+
+1. *Evaluation agreement*: the concrete evaluator, the simplifier, and the
+   bit-blaster must all agree on the meaning of random terms.
+2. *Model soundness*: any model the solver produces satisfies the formula.
+3. *Folding soundness*: smart-constructor folding never changes meaning.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import Result, Solver, simplify, t
+from repro.smt.eval import evaluate
+
+WIDTH = 8
+
+_names = ("v0", "v1", "v2")
+
+
+def _leaf(draw):
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return t.bv_const(draw(st.integers(0, 255)), WIDTH)
+    return t.bv_var(_names[choice - 1], WIDTH)
+
+
+_BINOPS = [
+    t.add,
+    t.sub,
+    t.mul,
+    t.udiv,
+    t.urem,
+    t.sdiv,
+    t.srem,
+    t.bvand,
+    t.bvor,
+    t.bvxor,
+    t.shl,
+    t.lshr,
+    t.ashr,
+]
+
+_UNOPS = [t.neg, t.bvnot]
+
+
+@st.composite
+def bv_terms(draw, depth=3):
+    if depth == 0:
+        return _leaf(draw)
+    choice = draw(st.integers(0, 5))
+    if choice <= 1:
+        return _leaf(draw)
+    if choice == 2:
+        op = draw(st.sampled_from(_UNOPS))
+        return op(draw(bv_terms(depth=depth - 1)))
+    if choice == 3:
+        cond = t.ult(
+            draw(bv_terms(depth=depth - 1)), draw(bv_terms(depth=depth - 1))
+        )
+        return t.ite(
+            cond, draw(bv_terms(depth=depth - 1)), draw(bv_terms(depth=depth - 1))
+        )
+    op = draw(st.sampled_from(_BINOPS))
+    return op(draw(bv_terms(depth=depth - 1)), draw(bv_terms(depth=depth - 1)))
+
+
+@st.composite
+def bool_terms(draw, depth=3):
+    pred = draw(st.sampled_from([t.eq, t.ult, t.slt, t.ule, t.sle]))
+    return pred(draw(bv_terms(depth=depth)), draw(bv_terms(depth=depth)))
+
+
+envs = st.fixed_dictionaries({name: st.integers(0, 255) for name in _names})
+
+
+class TestSimplifyPreservesMeaning:
+    @given(term=bv_terms(), env=envs)
+    @settings(max_examples=300, deadline=None)
+    def test_bv_simplify_agrees_with_eval(self, term, env):
+        assert evaluate(simplify(term), env) == evaluate(term, env)
+
+    @given(term=bool_terms(), env=envs)
+    @settings(max_examples=300, deadline=None)
+    def test_bool_simplify_agrees_with_eval(self, term, env):
+        assert evaluate(simplify(term), env) == evaluate(term, env)
+
+
+class TestSolverSoundness:
+    @given(term=bool_terms(depth=2))
+    @settings(max_examples=60, deadline=None)
+    def test_model_satisfies_formula(self, term):
+        solver = Solver()
+        outcome = solver.check_sat(term)
+        if outcome is Result.SAT and solver.last_model is not None:
+            env = {
+                var.name: solver.last_model.eval_bv(var)
+                for var in t.free_vars(term)
+            }
+            assert evaluate(term, env) is True
+
+    @given(term=bool_terms(depth=2), env=envs)
+    @settings(max_examples=60, deadline=None)
+    def test_unsat_has_no_witness(self, term, env):
+        solver = Solver()
+        if solver.check_sat(term) is Result.UNSAT:
+            assert evaluate(term, env) is False
+
+
+class TestBitblastAgreesWithEval:
+    @given(term=bv_terms(depth=2), env=envs)
+    @settings(max_examples=80, deadline=None)
+    def test_forced_environment_forces_value(self, term, env):
+        """Pin the variables to env via equalities; the solver's model of the
+        term must equal concrete evaluation."""
+        solver = Solver()
+        pins = [
+            t.eq(t.bv_var(name, WIDTH), t.bv_const(value, WIDTH))
+            for name, value in env.items()
+        ]
+        probe = t.bv_var("__probe", WIDTH)
+        goal = t.and_(t.eq(probe, term), *pins)
+        assert solver.check_sat(goal, need_model=True) is Result.SAT
+        assert solver.last_model.eval_bv(probe) == evaluate(term, env)

@@ -1,0 +1,121 @@
+"""Unit tests for substitution and the rewriting simplifier."""
+
+from repro.smt import simplify, substitute, t
+
+
+class TestSubstitute:
+    def test_variable_replacement(self):
+        a = t.bv_var("a", 32)
+        b = t.bv_var("b", 32)
+        expr = t.add(a, t.bv_const(1, 32))
+        assert substitute(expr, {a: b}) is t.add(b, t.bv_const(1, 32))
+
+    def test_substitution_triggers_folding(self):
+        a = t.bv_var("a", 32)
+        expr = t.add(a, t.bv_const(1, 32))
+        result = substitute(expr, {a: t.bv_const(41, 32)})
+        assert result.is_const() and result.value == 42
+
+    def test_empty_mapping_is_identity(self):
+        expr = t.add(t.bv_var("a", 32), t.bv_var("b", 32))
+        assert substitute(expr, {}) is expr
+
+    def test_shared_subterms_substituted_once(self):
+        a = t.bv_var("a", 32)
+        shared = t.add(a, t.bv_const(1, 32))
+        expr = t.mul(shared, shared)
+        result = substitute(expr, {a: t.bv_const(2, 32)})
+        assert result.is_const() and result.value == 9
+
+    def test_whole_subterm_replacement(self):
+        a = t.bv_var("a", 32)
+        b = t.bv_var("b", 32)
+        inner = t.add(a, b)
+        expr = t.mul(inner, t.bv_const(2, 32))
+        result = substitute(expr, {inner: t.bv_const(3, 32)})
+        assert result.is_const() and result.value == 6
+
+    def test_bool_substitution(self):
+        p = t.bool_var("p")
+        expr = t.and_(p, t.bool_var("q"))
+        assert substitute(expr, {p: t.TRUE}) is t.bool_var("q")
+
+    def test_deep_term_no_recursion_error(self):
+        a = t.bv_var("a", 32)
+        expr = a
+        for i in range(5000):
+            expr = t.bvor(expr, t.bv_var(f"x{i}", 32))
+        substitute(expr, {a: t.bv_const(1, 32)})  # must not raise
+
+
+class TestRewrites:
+    def test_offset_equality_cancels_base(self):
+        x = t.bv_var("x", 32)
+        lhs = t.add(x, t.bv_const(4, 32))
+        rhs = t.add(x, t.bv_const(4, 32))
+        assert simplify(t.eq(lhs, rhs)) is t.TRUE
+
+    def test_offset_disequality_detected(self):
+        x = t.bv_var("x", 32)
+        lhs = t.add(x, t.bv_const(4, 32))
+        rhs = t.add(x, t.bv_const(8, 32))
+        assert simplify(t.eq(lhs, rhs)) is t.FALSE
+
+    def test_zext_equality_strips_extension(self):
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        goal = t.eq(t.zext(a, 32), t.zext(b, 32))
+        assert simplify(goal) is t.eq(a, b)
+
+    def test_zext_ult_strips_extension(self):
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        goal = t.ult(t.zext(a, 32), t.zext(b, 32))
+        assert simplify(goal) is t.ult(a, b)
+
+    def test_sext_slt_strips_extension(self):
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        goal = t.slt(t.sext(a, 32), t.sext(b, 32))
+        assert simplify(goal) is t.slt(a, b)
+
+    def test_widened_sub_compare_normalizes(self):
+        # sext(a,16) - sext(b,16) <s 0  ->  a <s b (the x86 cmp/jl idiom).
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        wide = t.sub(t.sext(a, 16), t.sext(b, 16))
+        assert simplify(t.slt(wide, t.zero(16))) is t.slt(a, b)
+
+    def test_ite_condition_duplication_collapses(self):
+        p = t.bool_var("p")
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        c = t.bv_var("c", 8)
+        nested = t.ite(p, t.ite(p, a, b), c)
+        assert simplify(nested) is t.ite(p, a, c)
+
+    def test_extract_distributes_over_and(self):
+        a = t.bv_var("a", 32)
+        b = t.bv_var("b", 32)
+        goal = t.extract(t.bvand(a, b), 7, 0)
+        expected = t.bvand(t.extract(a, 7, 0), t.extract(b, 7, 0))
+        assert simplify(goal) is expected
+
+    def test_low_extract_distributes_over_add(self):
+        a = t.bv_var("a", 32)
+        b = t.bv_var("b", 32)
+        goal = t.extract(t.add(a, b), 7, 0)
+        expected = t.add(t.extract(a, 7, 0), t.extract(b, 7, 0))
+        assert simplify(goal) is expected
+
+    def test_eq_with_distinct_const_ite_branches(self):
+        p = t.bool_var("p")
+        branchy = t.ite(p, t.bv_const(1, 8), t.bv_const(2, 8))
+        assert simplify(t.eq(branchy, t.bv_const(1, 8))) is p
+        assert simplify(t.eq(branchy, t.bv_const(2, 8))) is t.not_(p)
+        assert simplify(t.eq(branchy, t.bv_const(3, 8))) is t.FALSE
+
+    def test_already_simple_terms_untouched(self):
+        a = t.bv_var("a", 32)
+        expr = t.add(a, t.bv_const(1, 32))
+        assert simplify(expr) is expr

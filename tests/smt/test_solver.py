@@ -1,0 +1,176 @@
+"""Tests for the solver façade: proofs, models, positive-form optimization."""
+
+from repro.smt import Result, Solver, t
+
+
+class TestCheckSat:
+    def test_trivially_true(self):
+        solver = Solver()
+        assert solver.check_sat(t.TRUE) is Result.SAT
+        assert solver.stats.fast_path == 1
+
+    def test_trivially_false(self):
+        solver = Solver()
+        assert solver.check_sat(t.FALSE) is Result.UNSAT
+
+    def test_conjunction_input(self):
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        result = solver.check_sat(
+            [t.ult(a, t.bv_const(5, 8)), t.ugt(a, t.bv_const(2, 8))],
+            need_model=True,
+        )
+        assert result is Result.SAT
+        value = solver.last_model.eval_bv(a)
+        assert 2 < value < 5
+
+    def test_unsat_range(self):
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        result = solver.check_sat(
+            [t.ult(a, t.bv_const(3, 8)), t.ugt(a, t.bv_const(5, 8))]
+        )
+        assert result is Result.UNSAT
+
+    def test_model_satisfies_formula(self):
+        solver = Solver()
+        a = t.bv_var("a", 16)
+        b = t.bv_var("b", 16)
+        goal = t.eq(t.add(a, b), t.bv_const(1000, 16))
+        assert solver.check_sat(goal, need_model=True) is Result.SAT
+        model = solver.last_model
+        assert (model.eval_bv(a) + model.eval_bv(b)) & 0xFFFF == 1000
+
+    def test_budget_exhaustion_is_unknown(self):
+        solver = Solver(conflict_budget=1)
+        a = t.bv_var("a", 32)
+        b = t.bv_var("b", 32)
+        c = t.bv_var("c", 32)
+        hard = t.eq(t.mul(t.mul(a, b), c), t.bv_const(0xDEADBEEF, 32))
+        assert solver.check_sat(hard) in (Result.UNKNOWN, Result.SAT)
+
+
+class TestProve:
+    def test_add_associativity(self):
+        solver = Solver()
+        a, b, c = (t.bv_var(n, 16) for n in "abc")
+        assert solver.prove(t.eq(t.add(t.add(a, b), c), t.add(a, t.add(b, c))))
+
+    def test_de_morgan_bitwise(self):
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        assert solver.prove(
+            t.eq(t.bvnot(t.bvand(a, b)), t.bvor(t.bvnot(a), t.bvnot(b)))
+        )
+
+    def test_non_theorem_rejected(self):
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        assert not solver.prove(t.eq(t.add(a, a), t.mul(a, a)))
+
+    def test_unsigned_overflow_distinguishes_lt_encodings(self):
+        # a < b is NOT equivalent to a - b <s 0 at the same width.
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        assert not solver.prove_equiv(
+            t.slt(a, b), t.slt(t.sub(a, b), t.zero(8))
+        )
+
+    def test_widened_subtraction_compare_is_equivalent(self):
+        # ...but sext to double width first, as x86 semantics do, and it is.
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        wide = t.sub(t.sext(a, 16), t.sext(b, 16))
+        assert solver.prove_equiv(t.slt(a, b), t.slt(wide, t.zero(16)))
+
+    def test_unsigned_borrow_flag_equivalence(self):
+        # The x86 "jb after cmp" idiom: borrow out of a - b == a <u b.
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        wide = t.sub(t.zext(a, 16), t.zext(b, 16))
+        borrow = t.ne(t.extract(wide, 15, 8), t.zero(8))
+        assert solver.prove_equiv(t.ult(a, b), borrow)
+
+
+class TestImplication:
+    def test_negative_form(self):
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        antecedent = t.ult(a, t.bv_const(10, 8))
+        consequent = t.ult(a, t.bv_const(20, 8))
+        assert solver.prove_implies(antecedent, consequent)
+        assert not solver.prove_implies(consequent, antecedent)
+
+    def test_positive_form_matches_negative_form(self):
+        # For a deterministic branch, siblings partition the negation.
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        n = t.bv_var("n", 8)
+        phi1 = t.ult(a, n)
+        phi2 = t.ult(a, n)  # target's taken-branch condition
+        siblings = [t.uge(a, n)]  # the not-taken branch
+        assert solver.prove_implies_positive(phi1, siblings)
+        assert solver.prove_implies(phi1, phi2)
+
+    def test_positive_form_detects_non_implication(self):
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        phi1 = t.ult(a, t.bv_const(20, 8))
+        siblings = [t.uge(a, t.bv_const(10, 8))]  # complement of a<10
+        assert not solver.prove_implies_positive(phi1, siblings)
+
+
+class TestAckermann:
+    def test_equal_offsets_give_equal_selects(self):
+        solver = Solver()
+        i = t.bv_var("i", 64)
+        j = t.bv_var("j", 64)
+        read1 = t.select("mem", i)
+        read2 = t.select("mem", j)
+        assert solver.prove(t.implies(t.eq(i, j), t.eq(read1, read2)))
+
+    def test_distinct_offsets_unconstrained(self):
+        solver = Solver()
+        read1 = t.select("mem", t.bv_const(0, 64))
+        read2 = t.select("mem", t.bv_const(1, 64))
+        assert not solver.prove(t.eq(read1, read2))
+
+    def test_different_arrays_unconstrained(self):
+        solver = Solver()
+        i = t.bv_var("i", 64)
+        read1 = t.select("mem_a", i)
+        read2 = t.select("mem_b", i)
+        assert not solver.prove(t.eq(read1, read2))
+
+
+class TestStats:
+    def test_fast_path_counted(self):
+        solver = Solver()
+        a = t.bv_var("a", 32)
+        solver.prove(t.eq(t.add(a, t.zero(32)), a))
+        assert solver.stats.queries == 1
+        assert solver.stats.fast_path == 1
+        assert solver.stats.sat_calls == 0
+
+    def test_queries_counted(self):
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        b = t.bv_var("b", 8)
+        solver.prove(t.eq(t.bvand(a, b), t.bvand(b, a)))
+        solver.check_sat(t.ult(a, b))
+        assert solver.stats.queries == 2
+        # Both discharge without bit-blasting (fast paths).
+        assert solver.stats.fast_path >= 1
+
+    def test_need_model_forces_real_solve(self):
+        solver = Solver()
+        a = t.bv_var("a", 8)
+        goal = t.ult(a, t.bv_const(10, 8))
+        assert solver.check_sat(goal) is Result.SAT  # may skip the model
+        assert solver.check_sat(goal, need_model=True) is Result.SAT
+        assert solver.last_model is not None
+        assert solver.last_model.eval_bv(a) < 10

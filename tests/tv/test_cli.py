@@ -1,0 +1,99 @@
+"""Tests for the command-line driver (the artifact's run-tests.py analogue)."""
+
+import pytest
+
+from repro.cli import main
+
+SIMPLE = """
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  ret i32 %a
+}
+"""
+
+WAW = """
+@b = external global [8 x i8]
+define void @foo() {
+entry:
+  store i16 0, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 2) to i16*)
+  store i16 2, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 3) to i16*)
+  store i16 1, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 0) to i16*)
+  ret void
+}
+"""
+
+
+@pytest.fixture
+def simple_file(tmp_path):
+    path = tmp_path / "simple.ll"
+    path.write_text(SIMPLE)
+    return str(path)
+
+
+@pytest.fixture
+def waw_file(tmp_path):
+    path = tmp_path / "waw.ll"
+    path.write_text(WAW)
+    return str(path)
+
+
+class TestSingle:
+    def test_validates_simple_function(self, simple_file, capsys):
+        assert main(["single", simple_file]) == 0
+        out = capsys.readouterr().out
+        assert "succeeded" in out
+
+    def test_bug_flag_produces_failure_exit(self, waw_file, capsys):
+        assert main(["single", waw_file, "--bug", "waw"]) == 1
+        out = capsys.readouterr().out
+        assert "miscompiled" in out
+
+    def test_merge_stores_flag_validates(self, waw_file):
+        assert main(["single", waw_file, "--merge-stores"]) == 0
+
+    def test_explicit_function_name(self, simple_file):
+        assert main(["single", simple_file, "--function", "f"]) == 0
+
+    def test_imprecise_liveness_flag(self, tmp_path, capsys):
+        path = tmp_path / "loop.ll"
+        path.write_text(
+            """
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %head ]
+  %inc = add i32 %i, 1
+  %c = icmp ult i32 %inc, %n
+  br i1 %c, label %head, label %done
+done:
+  ret i32 %i
+}
+"""
+        )
+        assert main(["single", str(path), "--imprecise-liveness"]) == 1
+        assert "other" in capsys.readouterr().out
+
+
+class TestProof:
+    def test_proof_flag_records_and_rechecks(self, simple_file, capsys):
+        assert main(["single", simple_file, "--proof"]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence proof" in out
+        assert "proof re-check: ok=True" in out
+
+
+class TestShow:
+    def test_prints_machine_code_and_points(self, simple_file, capsys):
+        assert main(["show", simple_file]) == 0
+        out = capsys.readouterr().out
+        assert ".LBB0" in out
+        assert "sync point p_entry" in out
+
+
+class TestCampaign:
+    def test_small_campaign_runs(self, capsys):
+        assert main(["campaign", "--scale", "6", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "Succeeded" in out

@@ -1,0 +1,144 @@
+"""Tests for the TV driver (outcome classification) and the batch runner."""
+
+import dataclasses
+
+import pytest
+
+from repro.isel import BugMode, IselOptions
+from repro.keq import KeqOptions
+from repro.llvm import parse_module
+from repro.tv import Category, TvOptions, validate_function
+from repro.tv.batch import run_batch, run_corpus
+from repro.workloads import FunctionShape, gcc_like_corpus, generate_module
+
+SIMPLE = "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 1\n  ret i32 %a\n}"
+
+LOOP = """
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %inc, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %acc2 = add i32 %acc, %i
+  %inc = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %acc
+}
+"""
+
+
+class TestDriverClassification:
+    def test_simple_function_succeeds(self):
+        outcome = validate_function(parse_module(SIMPLE), "f")
+        assert outcome.category == Category.SUCCEEDED
+        assert outcome.ok
+
+    def test_loop_function_succeeds(self):
+        outcome = validate_function(parse_module(LOOP), "sum")
+        assert outcome.category == Category.SUCCEEDED
+
+    def test_code_size_recorded(self):
+        outcome = validate_function(parse_module(LOOP), "sum")
+        assert outcome.code_size == 9  # the LOOP function's instruction count
+
+    def test_unsupported_function_classified(self):
+        source = (
+            "define i32 @f(i32 %a, i32 %b, i32 %c, i32 %d, i32 %e,"
+            " i32 %g, i32 %h) {\nentry:\n  ret i32 %a\n}"
+        )
+        outcome = validate_function(parse_module(source), "f")
+        assert outcome.category == Category.UNSUPPORTED
+
+    def test_timeout_classification(self):
+        options = TvOptions(keq=KeqOptions(max_steps=2))
+        outcome = validate_function(parse_module(LOOP), "sum", options)
+        assert outcome.category == Category.TIMEOUT
+
+    def test_oom_classification(self):
+        options = TvOptions(parser_memory_budget=1)
+        outcome = validate_function(parse_module(LOOP), "sum", options)
+        assert outcome.category == Category.OOM
+
+    def test_imprecise_liveness_gives_other(self):
+        options = TvOptions(imprecise_liveness=True)
+        outcome = validate_function(parse_module(LOOP), "sum", options)
+        assert outcome.category == Category.OTHER
+        assert "inadequate" in outcome.detail
+
+    def test_miscompilation_classification(self):
+        source = """
+@b = external global [8 x i8]
+define void @foo() {
+entry:
+  store i16 0, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 2) to i16*)
+  store i16 2, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 3) to i16*)
+  store i16 1, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 0) to i16*)
+  ret void
+}
+"""
+        options = TvOptions(isel=IselOptions(bug=BugMode.WAW_STORE_MERGE))
+        outcome = validate_function(parse_module(source), "foo", options)
+        assert outcome.category == Category.MISCOMPILED
+
+
+class TestBatch:
+    def test_batch_over_module(self):
+        module = generate_module(
+            [
+                ("a", FunctionShape(loops=0, diamonds=0), 1),
+                ("b", FunctionShape(loops=1), 2),
+            ]
+        )
+        result = run_batch(module)
+        assert len(result.outcomes) == 2
+        assert result.success_rate() == 1.0
+
+    def test_figure6_rows_structure(self):
+        module = generate_module([("a", FunctionShape(loops=0, diamonds=0), 1)])
+        rows = run_batch(module).figure6_rows()
+        labels = [label for label, _ in rows]
+        assert labels == [
+            "Succeeded",
+            "Failed due to timeout",
+            "Failed due to out-of-memory",
+            "Other",
+            "Total",
+        ]
+
+    def test_unsupported_excluded_from_denominator(self):
+        module = generate_module(
+            [
+                ("ok", FunctionShape(loops=0, diamonds=0), 1),
+                ("bad", FunctionShape(unsupported=True), 2),
+            ]
+        )
+        result = run_batch(module)
+        assert len(result.supported) == 1
+        assert result.figure6_rows()[-1] == ("Total", 1)
+
+    def test_overrides_apply_per_function(self):
+        module = parse_module(LOOP)
+        overrides = {"sum": TvOptions(imprecise_liveness=True)}
+        result = run_batch(module, overrides=overrides)
+        assert result.outcomes[0].category == Category.OTHER
+
+    def test_small_corpus_proportions(self):
+        corpus = gcc_like_corpus(scale=12, seed=99)
+        result = run_corpus(corpus)
+        by_name = corpus.by_name()
+        for outcome in result.outcomes:
+            assert outcome.category == by_name[outcome.function].expect, (
+                outcome.function,
+                outcome.category,
+                outcome.detail,
+            )
+
+    def test_summary_renders(self):
+        module = generate_module([("a", FunctionShape(loops=0, diamonds=0), 1)])
+        text = run_batch(module).summary()
+        assert "Succeeded" in text and "success rate" in text

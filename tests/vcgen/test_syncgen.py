@@ -1,0 +1,221 @@
+"""Tests for the synchronization point generator (paper Section 4.5)."""
+
+from repro.isel import select_function
+from repro.llvm import parse_module
+from repro.vcgen import generate_sync_points
+
+ARITH_SEQ_SUM = """
+define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {
+entry:
+  br label %for.cond
+for.cond:
+  %s.0 = phi i32 [ %a0, %entry ], [ %add1, %for.inc ]
+  %a.0 = phi i32 [ %a0, %entry ], [ %add, %for.inc ]
+  %i.0 = phi i32 [ 1, %entry ], [ %inc, %for.inc ]
+  %cmp = icmp ult i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %add = add i32 %a.0, %d
+  %add1 = add i32 %s.0, %add
+  br label %for.inc
+for.inc:
+  %inc = add i32 %i.0, 1
+  br label %for.cond
+for.end:
+  ret i32 %s.0
+}
+"""
+
+CALLS = """
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @g(i32 %x)
+  %a = add i32 %r, %x
+  %s = call i32 @h(i32 %a, i32 %r)
+  ret i32 %s
+}
+"""
+
+
+def points_for(source, name=None, **kwargs):
+    module = parse_module(source)
+    function = (
+        module.function(name) if name else next(iter(module.functions.values()))
+    )
+    machine, hints = select_function(module, function)
+    return generate_sync_points(module, function, machine, hints, **kwargs), hints
+
+
+class TestEntryExit:
+    def test_entry_point_covers_calling_convention(self):
+        points, _ = points_for(ARITH_SEQ_SUM)
+        entry = next(p for p in points if p.kind == "entry")
+        rights = [c.right.payload for c in entry.constraints]
+        assert rights == ["rdi", "rsi", "rdx"]
+
+    def test_exit_point_relates_return_values(self):
+        points, _ = points_for(ARITH_SEQ_SUM)
+        exit_point = next(p for p in points if p.kind == "exit")
+        assert not exit_point.executable
+        assert exit_point.constraints[0].left.kind == "ret"
+
+    def test_void_function_exit_has_no_ret_constraint(self):
+        points, _ = points_for(
+            "define void @f() {\nentry:\n  ret void\n}"
+        )
+        exit_point = next(p for p in points if p.kind == "exit")
+        assert exit_point.constraints == ()
+
+
+class TestLoopPoints:
+    def test_one_point_per_predecessor(self):
+        """The paper's Figure 3 has p1 (from entry) and p2 (from for.inc)."""
+        points, _ = points_for(ARITH_SEQ_SUM)
+        loop_points = [p for p in points if p.kind == "loop"]
+        previous = {p.left.prev_block for p in loop_points}
+        assert previous == {"entry", "for.inc"}
+
+    def test_constraints_cover_live_values_per_edge(self):
+        points, hints = points_for(ARITH_SEQ_SUM)
+        from_inc = next(
+            p for p in points if p.kind == "loop" and p.left.prev_block == "for.inc"
+        )
+        lefts = {
+            c.left.payload for c in from_inc.constraints if c.left.kind == "env"
+        }
+        # Figure 3's p2 relates %add, %add1, %inc, %n, %d.
+        assert {"add", "add1", "inc", "n", "d"} <= lefts
+
+    def test_materialized_constant_becomes_literal_constraint(self):
+        """Figure 3's p1 contains the `1 = %vr9_32` constraint."""
+        points, _ = points_for(ARITH_SEQ_SUM)
+        from_entry = next(
+            p for p in points if p.kind == "loop" and p.left.prev_block == "entry"
+        )
+        literals = [
+            c for c in from_entry.constraints if c.left.kind == "lit"
+        ]
+        assert len(literals) == 1
+        assert literals[0].left.payload == 1
+
+    def test_block_correspondence_follows_hints(self):
+        points, hints = points_for(ARITH_SEQ_SUM)
+        loop_point = next(p for p in points if p.kind == "loop")
+        assert loop_point.right.location.block == hints.block_map["for.cond"]
+
+    def test_loop_free_function_has_no_loop_points(self):
+        points, _ = points_for(
+            "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}"
+        )
+        assert [p for p in points if p.kind == "loop"] == []
+
+
+class TestCallPoints:
+    def test_pre_and_resume_points_per_call(self):
+        points, _ = points_for(CALLS)
+        assert len([p for p in points if p.kind == "call"]) == 2
+        assert len([p for p in points if p.kind == "resume"]) == 2
+
+    def test_call_point_relates_arguments(self):
+        points, _ = points_for(CALLS)
+        call_point = next(p for p in points if p.kind == "call")
+        assert all(c.left.kind == "arg" for c in call_point.constraints)
+        assert not call_point.executable
+
+    def test_resume_point_relates_result_to_rax(self):
+        points, _ = points_for(CALLS)
+        resume = next(p for p in points if p.kind == "resume")
+        result_constraints = [
+            c for c in resume.constraints if c.right.payload == "rax"
+        ]
+        assert len(result_constraints) == 1
+        assert result_constraints[0].left.payload == "r"
+
+    def test_resume_point_is_executable(self):
+        points, _ = points_for(CALLS)
+        assert all(p.executable for p in points if p.kind == "resume")
+
+
+class TestMemoryTemplate:
+    def test_globals_and_frames_in_template(self):
+        source = (
+            "@g = external global i32\n"
+            "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32\n"
+            "  store i32 %x, i32* %p\n  %v = load i32, i32* %p\n"
+            "  store i32 %v, i32* @g\n  ret i32 %v\n}"
+        )
+        points, _ = points_for(source)
+        entry = next(p for p in points if p.kind == "entry")
+        names = {obj.name for obj in entry.memory_objects}
+        assert names == {"g", "stack.f.p"}
+
+    def test_all_points_check_memory(self):
+        points, _ = points_for(ARITH_SEQ_SUM)
+        assert all(p.check_memory for p in points)
+
+
+class TestPostPhiStyle:
+    def test_single_point_per_header(self):
+        module = parse_module(ARITH_SEQ_SUM)
+        function = module.function("arithm_seq_sum")
+        machine, hints = select_function(module, function)
+        points = generate_sync_points(
+            module, function, machine, hints, loop_point_style="post-phi"
+        )
+        loop_points = [p for p in points if p.kind == "loop"]
+        assert len(loop_points) == 1
+        point = loop_points[0]
+        assert point.left.prev_block is None
+        # Placed after the three phis.
+        assert point.left.location.index == 3
+
+    def test_constraints_cover_phi_results(self):
+        module = parse_module(ARITH_SEQ_SUM)
+        function = module.function("arithm_seq_sum")
+        machine, hints = select_function(module, function)
+        points = generate_sync_points(
+            module, function, machine, hints, loop_point_style="post-phi"
+        )
+        point = next(p for p in points if p.kind == "loop")
+        lefts = {c.left.payload for c in point.constraints if c.left.kind == "env"}
+        assert {"s.0", "a.0", "i.0", "n", "d"} <= lefts
+
+    def test_post_phi_style_validates(self):
+        from repro.keq import Keq, Verdict, default_acceptability
+        from repro.llvm.semantics import LlvmSemantics
+        from repro.vx86.semantics import Vx86Semantics
+
+        module = parse_module(ARITH_SEQ_SUM)
+        function = module.function("arithm_seq_sum")
+        machine, hints = select_function(module, function)
+        points = generate_sync_points(
+            module, function, machine, hints, loop_point_style="post-phi"
+        )
+        keq = Keq(
+            LlvmSemantics(module),
+            Vx86Semantics({machine.name: machine}),
+            default_acceptability(),
+        )
+        assert keq.check_equivalence(points).verdict is Verdict.VALIDATED
+
+
+class TestImpreciseLiveness:
+    def test_imprecise_mode_adds_spurious_constraints(self):
+        precise, _ = points_for(ARITH_SEQ_SUM)
+        imprecise, _ = points_for(ARITH_SEQ_SUM, imprecise_liveness=True)
+
+        def names(points_set, prev):
+            point = next(
+                p
+                for p in points_set
+                if p.kind == "loop" and p.left.prev_block == prev
+            )
+            return {
+                c.left.payload for c in point.constraints if c.left.kind == "env"
+            }
+
+        assert names(precise, "entry") < names(imprecise, "entry")
+
+    def test_spec_size_metric(self):
+        points, _ = points_for(ARITH_SEQ_SUM)
+        assert points.spec_size() > 0

@@ -1,0 +1,48 @@
+"""Printer/parser roundtrip for Virtual x86 machine functions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isel import select_function
+from repro.vx86 import parse_machine_function
+from repro.workloads import FunctionShape, generate_module
+
+
+def roundtrip(function) -> None:
+    text = str(function)
+    reparsed = parse_machine_function(text)
+    assert str(reparsed) == text
+    assert list(reparsed.blocks) == list(function.blocks)
+    assert reparsed.frame_objects == function.frame_objects
+
+
+class TestRoundtrip:
+    def test_simple_function(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  eax = COPY %vr0_32\n  ret\n"
+        )
+        roundtrip(function)
+
+    def test_memory_widths_preserved(self):
+        function = parse_machine_function(
+            "f:\nframe stack.f.x, 4\n.LBB0:\n"
+            "  store16 [stack.f.x + 2], 7\n"
+            "  %vr0_8 = load8 [stack.f.x]\n  ret\n"
+        )
+        roundtrip(function)
+        stored = function.entry_block.instructions[0]
+        assert stored.operands[0].width_bytes == 2
+
+    @given(seed=st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_isel_output_roundtrips(self, seed):
+        module = generate_module(
+            [
+                (
+                    "f",
+                    FunctionShape(loops=1, diamonds=1, memory_ops=1, allocas=1),
+                    seed,
+                )
+            ]
+        )
+        machine, _ = select_function(module, module.functions["f"])
+        roundtrip(machine)

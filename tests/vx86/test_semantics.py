@@ -1,0 +1,264 @@
+"""Tests for the Virtual x86 parser and symbolic semantics."""
+
+import pytest
+
+from repro.memory import Memory, MemoryObject, PointerValue
+from repro.semantics.state import ErrorInfo, StatusKind
+from repro.smt import Solver, simplify, t
+from repro.vx86 import (
+    MachineFunction,
+    Vx86Semantics,
+    machine_entry_state,
+    parse_machine_function,
+)
+from repro.vx86.parser import MachineParseError
+
+
+def run_to_halt(semantics, state, limit=300):
+    frontier = [state]
+    halted = []
+    for _ in range(limit):
+        advanced = []
+        for current in frontier:
+            successors = semantics.step(current)
+            if successors:
+                advanced.extend(successors)
+            else:
+                halted.append(current)
+        if not advanced:
+            return halted
+        frontier = advanced
+    raise AssertionError("did not halt")
+
+
+def run_function(source, registers=None, objects=()):
+    function = parse_machine_function(source)
+    semantics = Vx86Semantics({function.name: function})
+    memory = Memory.create([MemoryObject(n, s) for n, s in objects])
+    state = machine_entry_state(function, memory, registers or {})
+    return run_to_halt(semantics, state)
+
+
+class TestParser:
+    def test_blocks_and_labels(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  jmp .LBB1\n.LBB1:\n  ret\n"
+        )
+        assert list(function.blocks) == [".LBB0", ".LBB1"]
+
+    def test_vreg_and_physical_operands(self):
+        function = parse_machine_function("f:\n.LBB0:\n  %vr0_32 = COPY edi\n  ret\n")
+        instruction = function.entry_block.instructions[0]
+        assert instruction.result.id == 0 and instruction.result.width == 32
+        assert instruction.operands[0].name == "rdi"
+        assert instruction.operands[0].width == 32
+
+    def test_imm_width_inferred_from_result(self):
+        function = parse_machine_function("f:\n.LBB0:\n  %vr0_16 = mov 7\n  ret\n")
+        assert function.entry_block.instructions[0].operands[0].width == 16
+
+    def test_memref_with_object_and_disp(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  %vr0_32 = load [g + 4]\n  ret\n"
+        )
+        mem = function.entry_block.instructions[0].operands[0]
+        assert mem.object == "g" and mem.disp == 4 and mem.width_bytes == 4
+
+    def test_store_width_from_suffix(self):
+        function = parse_machine_function("f:\n.LBB0:\n  store16 [g + 3], 2\n  ret\n")
+        mem = function.entry_block.instructions[0].operands[0]
+        assert mem.width_bytes == 2
+        assert function.entry_block.instructions[0].operands[1].width == 16
+
+    def test_frame_declaration(self):
+        function = parse_machine_function(
+            "f:\nframe stack.f.x, 4\n.LBB0:\n  ret\n"
+        )
+        assert function.frame_objects == {"stack.f.x": 4}
+
+    def test_phi_operands(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  jmp .LBB1\n.LBB1:\n"
+            "  %vr0_32 = PHI %vr1_32, .LBB0, %vr2_32, .LBB1\n  jmp .LBB1\n"
+        )
+        phi = function.block(".LBB1").instructions[0]
+        assert phi.opcode == "PHI" and len(phi.operands) == 4
+
+    def test_store_of_ambiguous_width_rejected(self):
+        with pytest.raises(MachineParseError):
+            parse_machine_function("f:\n.LBB0:\n  store [g], 2\n  ret\n")
+
+
+class TestRegisterSemantics:
+    def test_32bit_write_zeroes_upper(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  eax = COPY edi\n  ret\n",
+            registers={"rdi": t.bv_const(0xFFFFFFFF_FFFFFFFF, 64)},
+        )
+        assert halted[0].returned.value == 0x00000000_FFFFFFFF
+
+    def test_16bit_write_preserves_upper(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  ax = COPY di\n  ret\n",
+            registers={
+                "rdi": t.bv_const(0x1234, 64),
+                "rax": t.bv_const(0xAAAA_BBBB_CCCC_0000, 64),
+            },
+        )
+        assert halted[0].returned.value == 0xAAAA_BBBB_CCCC_1234
+
+    def test_unwritten_register_reads_named_unknown(self):
+        halted = run_function("f:\n.LBB0:\n  %vr0_64 = COPY rsi\n  ret\n")
+        # rsi was never initialized; its value is the deterministic symbol.
+        assert halted[0].env["vr0_64"] is t.bv_var("reg_rsi", 64)
+
+
+class TestAluAndFlags:
+    def test_add(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  %vr1_32 = add %vr0_32, 5\n"
+            "  eax = COPY %vr1_32\n  ret\n",
+            registers={"rdi": t.bv_const(10, 64)},
+        )
+        assert halted[0].returned.value == 15
+
+    def test_cmp_jb_unsigned(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  cmp %vr0_32, 10\n"
+            "  jb .LBB1\n  jmp .LBB2\n"
+            ".LBB1:\n  eax = mov 1\n  ret\n"
+            ".LBB2:\n  eax = mov 0\n  ret\n"
+        )
+        less = run_function(source, registers={"rdi": t.bv_const(5, 64)})
+        geq = run_function(source, registers={"rdi": t.bv_const(15, 64)})
+        assert less[0].returned.value == 1
+        assert geq[0].returned.value == 0
+
+    def test_cmp_jl_signed(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  cmp %vr0_32, 0\n"
+            "  jl .LBB1\n  jmp .LBB2\n"
+            ".LBB1:\n  eax = mov 1\n  ret\n"
+            ".LBB2:\n  eax = mov 0\n  ret\n"
+        )
+        negative = run_function(
+            source, registers={"rdi": t.bv_const(0xFFFFFFFF, 64)}
+        )
+        positive = run_function(source, registers={"rdi": t.bv_const(7, 64)})
+        assert negative[0].returned.value == 1
+        assert positive[0].returned.value == 0
+
+    def test_symbolic_cmp_condition_matches_ult(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  %vr1_32 = COPY esi\n"
+            "  cmp %vr0_32, %vr1_32\n  jb .LBB1\n  jmp .LBB2\n"
+            ".LBB1:\n  ret\n.LBB2:\n  ret\n"
+        )
+        a = t.bv_var("a", 32)
+        b = t.bv_var("b", 32)
+        halted = run_function(
+            source, registers={"rdi": t.zext(a, 64), "rsi": t.zext(b, 64)}
+        )
+        taken = next(
+            s for s in halted if s.path_condition is not t.not_(t.ult(a, b))
+        )
+        assert taken.path_condition is t.ult(a, b)
+
+    def test_setcc_materializes_condition(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  cmp %vr0_32, 10\n"
+            "  %vr1_8 = setb\n  movzx eax, %vr1_8\n  ret\n".replace(
+                "movzx eax, %vr1_8", "eax = movzx %vr1_8"
+            ),
+            registers={"rdi": t.bv_const(3, 64)},
+        )
+        assert halted[0].returned.value == 1
+
+    def test_inc_preserves_carry_flag(self):
+        # cmp sets CF; inc must not clobber it.
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  cmp %vr0_32, 10\n"
+            "  %vr1_32 = inc %vr0_32\n  jb .LBB1\n  jmp .LBB2\n"
+            ".LBB1:\n  eax = mov 1\n  ret\n.LBB2:\n  eax = mov 0\n  ret\n"
+        )
+        halted = run_function(source, registers={"rdi": t.bv_const(3, 64)})
+        assert halted[0].returned.value == 1
+
+    def test_division_error_states(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  %vr1_32 = COPY esi\n"
+            "  %vr2_32 = idiv %vr0_32, %vr1_32\n  eax = COPY %vr2_32\n  ret\n"
+        )
+        kinds = {s.error.kind for s in halted if s.status is StatusKind.ERROR}
+        assert kinds == {ErrorInfo.DIV_BY_ZERO, ErrorInfo.SIGNED_OVERFLOW}
+
+    def test_shift_masks_count(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY edi\n  %vr1_32 = shl %vr0_32, 33\n"
+            "  eax = COPY %vr1_32\n  ret\n",
+            registers={"rdi": t.bv_const(1, 64)},
+        )
+        # x86 masks the count to 5 bits: 33 & 31 == 1.
+        assert halted[0].returned.value == 2
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  store32 [g], 77\n  %vr0_32 = load [g]\n"
+            "  eax = COPY %vr0_32\n  ret\n",
+            objects=[("g", 8)],
+        )
+        assert halted[0].returned.value == 77
+
+    def test_lea_then_indirect_store(self):
+        halted = run_function(
+            "f:\nframe stack.f.x, 4\n.LBB0:\n  %vr0_64 = lea [stack.f.x]\n"
+            "  store32 [%vr0_64], 5\n  %vr1_32 = load [stack.f.x]\n"
+            "  eax = COPY %vr1_32\n  ret\n"
+        )
+        assert halted[0].returned.value == 5
+
+    def test_oob_load_errors(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_64 = load [g + 8]\n  ret\n",
+            objects=[("g", 12)],
+        )
+        assert len(halted) == 1
+        assert halted[0].status is StatusKind.ERROR
+        assert halted[0].error.kind == ErrorInfo.OUT_OF_BOUNDS
+
+    def test_narrow_load_in_bounds(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = load [g + 8]\n  eax = COPY %vr0_32\n  ret\n",
+            objects=[("g", 12)],
+        )
+        assert halted[0].status is StatusKind.EXITED
+
+
+class TestPhisAndCalls:
+    def test_phi_by_predecessor(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = mov 1\n  jmp .LBB2\n"
+            ".LBB1:\n  %vr1_32 = mov 2\n  jmp .LBB2\n"
+            ".LBB2:\n  %vr2_32 = PHI %vr0_32, .LBB0, %vr1_32, .LBB1\n"
+            "  eax = COPY %vr2_32\n  ret\n"
+        )
+        halted = run_function(source)
+        assert halted[0].returned.value == 1
+
+    def test_call_pauses_with_arguments(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  edi = mov 7\n  call @g, edi\n"
+            "  eax = mov 0\n  ret\n"
+        )
+        state = halted[0]
+        assert state.status is StatusKind.CALLING
+        assert state.call.callee == "g"
+        assert simplify(t.trunc(state.call.arguments[0], 32)).value == 7
+
+    def test_ret_returns_rax(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  eax = mov 9\n  ret\n"
+        )
+        assert halted[0].returned.value == 9

@@ -1,0 +1,175 @@
+"""Tests for the synthetic workload generator and corpus descriptor."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.llvm import ir
+from repro.llvm.semantics import LlvmSemantics, entry_state
+from repro.llvm.verify import verify_function, verify_module
+from repro.semantics.state import StatusKind
+from repro.smt import t
+from repro.workloads import (
+    FunctionShape,
+    gcc_like_corpus,
+    generate_function,
+    generate_module,
+)
+from repro.workloads.corpus import (
+    PAPER_OOM,
+    PAPER_SUPPORTED,
+    PAPER_TIMEOUT,
+    PAPER_TOTAL,
+)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        first = generate_module([("f", FunctionShape(), 42)])
+        second = generate_module([("f", FunctionShape(), 42)])
+        assert str(first) == str(second)
+
+    def test_different_seeds_differ(self):
+        first = generate_module([("f", FunctionShape(), 1)])
+        second = generate_module([("f", FunctionShape(), 2)])
+        assert str(first) != str(second)
+
+    def test_generated_functions_verify(self):
+        module = generate_module(
+            [
+                ("a", FunctionShape(loops=2, diamonds=2, calls=1), 3),
+                ("b", FunctionShape(memory_ops=2, allocas=1), 4),
+            ]
+        )
+        verify_module(module)
+
+    def test_loop_shape_produces_phis(self):
+        module = generate_module([("f", FunctionShape(loops=1), 5)])
+        function = module.functions["f"]
+        assert any(
+            isinstance(instruction, ir.Phi)
+            for _, _, instruction in function.instructions()
+        )
+
+    def test_call_shape_produces_calls(self):
+        module = generate_module(
+            [("f", FunctionShape(calls=2, loops=0, diamonds=0), 6)]
+        )
+        function = module.functions["f"]
+        assert any(
+            isinstance(instruction, ir.Call)
+            for _, _, instruction in function.instructions()
+        )
+
+    def test_nested_loops_generate_depth_two_nests(self):
+        from repro.analysis import LlvmGraph, natural_loops
+
+        module = generate_module(
+            [("f", FunctionShape(loops=1, nested_loops=True, diamonds=0), 3)]
+        )
+        loops = natural_loops(LlvmGraph(module.functions["f"]))
+        assert len(loops) == 2
+        bodies = sorted(loops, key=lambda l: len(l.body))
+        assert bodies[0].body < bodies[1].body  # properly nested
+
+    def test_nested_loop_functions_validate(self):
+        from repro.tv import validate_function
+
+        module = generate_module(
+            [("f", FunctionShape(loops=1, nested_loops=True, diamonds=0), 11)]
+        )
+        assert validate_function(module, "f").ok
+
+    def test_live_tail_keeps_values_alive(self):
+        plain = generate_module(
+            [("f", FunctionShape(loops=0, diamonds=0, ops_per_segment=8), 7)]
+        )
+        tailed = generate_module(
+            [
+                (
+                    "f",
+                    FunctionShape(
+                        loops=0, diamonds=0, ops_per_segment=8, live_tail=True
+                    ),
+                    7,
+                )
+            ]
+        )
+        plain_size = sum(1 for _ in plain.functions["f"].instructions())
+        tailed_size = sum(1 for _ in tailed.functions["f"].instructions())
+        assert tailed_size > plain_size
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_seeds_always_wellformed(self, seed):
+        module = generate_module(
+            [("f", FunctionShape(loops=1, diamonds=1, memory_ops=1), seed)]
+        )
+        verify_function(module.functions["f"])
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=10, deadline=None)
+    def test_generated_functions_execute_concretely(self, seed):
+        """Symbolic execution with concrete arguments must terminate in a
+        non-error state (generated programs avoid UB by construction)."""
+        module = generate_module([("f", FunctionShape(loops=1, diamonds=1), seed)])
+        function = module.functions["f"]
+        semantics = LlvmSemantics(module)
+        arguments = {
+            name: t.bv_const(3 + index, 32)
+            for index, (name, _) in enumerate(function.parameters)
+        }
+        state = entry_state(module, function, arguments=arguments)
+        frontier = [state]
+        for _ in range(3000):
+            advanced = []
+            for current in frontier:
+                successors = semantics.step(current)
+                if successors:
+                    advanced.extend(successors)
+                elif current.status is StatusKind.CALLING:
+                    # Treat external calls as returning a constant.
+                    resumed = current.bind(
+                        current.call.result_name, t.bv_const(1, 32)
+                    )
+                    import dataclasses
+
+                    resumed = dataclasses.replace(
+                        resumed,
+                        status=StatusKind.RUNNING,
+                        call=None,
+                        location=current.call.return_location,
+                    )
+                    advanced.append(resumed)
+                else:
+                    assert current.status is StatusKind.EXITED
+                    return
+            frontier = advanced
+        raise AssertionError("did not terminate")
+
+
+class TestCorpus:
+    def test_scale_controls_supported_count(self):
+        corpus = gcc_like_corpus(scale=24, seed=1)
+        supported = [s for s in corpus.functions if s.expect != "unsupported"]
+        assert len(supported) == 24
+
+    def test_proportions_track_figure6(self):
+        corpus = gcc_like_corpus(scale=120, seed=1)
+        counts = {}
+        for spec in corpus.functions:
+            counts[spec.expect] = counts.get(spec.expect, 0) + 1
+        assert counts["timeout"] == round(120 * PAPER_TIMEOUT / PAPER_SUPPORTED)
+        assert counts["oom"] == round(120 * PAPER_OOM / PAPER_SUPPORTED)
+        assert counts["unsupported"] == round(
+            120 * (PAPER_TOTAL - PAPER_SUPPORTED) / PAPER_SUPPORTED
+        )
+
+    def test_imprecise_flag_only_on_other(self):
+        corpus = gcc_like_corpus(scale=60, seed=1)
+        for spec in corpus.functions:
+            assert spec.imprecise_liveness == (spec.expect == "other")
+
+    def test_corpus_module_builds_and_verifies(self):
+        corpus = gcc_like_corpus(scale=12, seed=5)
+        module = corpus.build_module()
+        verify_module(module)
+        assert len(module.functions) == len(corpus.functions)
