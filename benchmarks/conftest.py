@@ -7,7 +7,36 @@ who wins, by what rough factor, where the proportions fall — are enforced
 with asserts, per the reproduction contract.
 """
 
+import json
+import os
+
 import pytest
+
+#: Records accumulated by the ``bench_json`` fixture, flushed to
+#: ``BENCH_<name>.json`` files in the repo root at session end so CI and
+#: later sessions can diff regenerated numbers without scraping stdout.
+_BENCH_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Session-scoped sink: ``bench_json(name, payload)`` merges ``payload``
+    into the record emitted as ``BENCH_<name>.json``."""
+
+    def record(name: str, payload: dict) -> None:
+        _BENCH_RECORDS.setdefault(name, {}).update(payload)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for name, payload in _BENCH_RECORDS.items():
+        path = os.path.join(root, f"BENCH_{name}.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
 
 ARITH_SEQ_SUM = """
 define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {

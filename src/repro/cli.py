@@ -110,9 +110,18 @@ def cmd_show(args) -> int:
 
 def cmd_campaign(args) -> int:
     corpus = gcc_like_corpus(scale=args.scale, seed=args.seed)
-    print(f"validating {len(corpus.functions)} functions...")
+    jobs = args.jobs if args.jobs is not None else 1
+    print(
+        f"validating {len(corpus.functions)} functions"
+        f" (jobs={jobs}"
+        + (f", cache-dir={args.cache_dir}" if args.cache_dir else "")
+        + ")..."
+    )
     result = run_corpus(
-        corpus, TvOptions.for_campaign(wall_budget_seconds=args.wall_budget)
+        corpus,
+        TvOptions.for_campaign(wall_budget_seconds=args.wall_budget),
+        jobs=jobs,
+        cache_dir=args.cache_dir,
     )
     print(result.summary())
     return 0
@@ -153,6 +162,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="per-function wall-clock limit in seconds (paper: 3 hours)",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="validate functions across N worker processes (default: 1)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent solver query cache shared across runs and workers",
     )
     campaign.set_defaults(run=cmd_campaign)
     return parser

@@ -48,6 +48,9 @@ class KeqStats:
     solver_queries: int = 0
     solver_time: float = 0.0
     wall_time: float = 0.0
+    #: shared query-cache traffic (see repro.smt.cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -68,6 +71,8 @@ class KeqReport:
             f" pairs={self.stats.pairs_matched}"
             f" steps={self.stats.steps_left}+{self.stats.steps_right}"
             f" queries={self.stats.solver_queries}"
+            f" cache={self.stats.cache_hits}/"
+            f"{self.stats.cache_hits + self.stats.cache_misses}"
             f" wall={self.stats.wall_time:.3f}s"
         )
         return "\n".join(lines)

@@ -178,6 +178,8 @@ class Keq:
         stats.wall_time = time.perf_counter() - started
         stats.solver_queries = self.solver.stats.queries
         stats.solver_time = self.solver.stats.time_seconds
+        stats.cache_hits = self.solver.stats.cache_hits
+        stats.cache_misses = self.solver.stats.cache_misses
         if verdict is Verdict.VALIDATED and self._proof is not None:
             self.last_proof = self._proof
         self._proof = None

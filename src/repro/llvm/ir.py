@@ -66,8 +66,15 @@ class ConstGep(Operand):
     inbounds: bool = True
 
     def __str__(self) -> str:
-        parts = ", ".join(str(index) for index in self.indices)
-        return f"getelementptr ({self.base_type}, {self.pointer}, {parts})"
+        # Printed in full LLVM syntax (pointer type, typed indices) so that
+        # ``str(module)`` re-parses — the parallel batch driver ships modules
+        # to worker processes as text.
+        parts = ", ".join(f"{index.type} {index}" for index in self.indices)
+        marker = "inbounds " if self.inbounds else ""
+        return (
+            f"getelementptr {marker}({self.base_type},"
+            f" {self.base_type}* {self.pointer}, {parts})"
+        )
 
 
 @dataclass(frozen=True)

@@ -28,9 +28,13 @@ from repro.smt.terms import (
 )
 from repro.smt import terms as t
 from repro.smt.simplify import simplify, substitute
-from repro.smt.solver import Result, Solver
+from repro.smt.solver import QueryStats, Result, Solver
+from repro.smt.cache import CacheStats, QueryCache
 
 __all__ = [
+    "CacheStats",
+    "QueryCache",
+    "QueryStats",
     "BOOL",
     "BV1",
     "BV8",

@@ -66,3 +66,31 @@ def to_str(term: Term, max_depth: int = 12) -> str:
 
 def sort_str(term: Term) -> str:
     return "Bool" if term.sort is BOOL else f"i{term.width}"
+
+
+def canonical(term: Term) -> str:
+    """Full-fidelity canonical serialization of a term DAG.
+
+    Unlike :func:`to_str` this never elides subterms, records every sort,
+    and shares repeated subterms, so two terms serialize identically *iff*
+    they are structurally identical — the property the solver query cache
+    keys on.  Nodes are numbered in first-visit (post-)order from the root,
+    which depends only on the term's structure, never on interning order.
+    """
+    index: dict[Term, int] = {}
+    lines: list[str] = []
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in index:
+            continue
+        if not ready:
+            stack.append((node, True))
+            # Reversed so children are numbered left-to-right.
+            stack.extend((arg, False) for arg in reversed(node.args))
+            continue
+        args = ",".join(str(index[arg]) for arg in node.args)
+        attr = ",".join(repr(a) for a in node.attr)
+        index[node] = len(lines)
+        lines.append(f"{node.op}:{sort_str(node)}[{attr}]({args})")
+    return ";".join(lines)

@@ -15,9 +15,13 @@ unsatisfiability of ``φ1 ∧ Ψ2`` — where ``Ψ2`` is the disjunction of the
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # cache.py imports Result from here; avoid the cycle.
+    from repro.smt.cache import QueryCache
 
 from repro.smt import terms as t
 from repro.smt.bitblast import BitBlaster
@@ -51,7 +55,22 @@ class QueryStats:
     decisions: int = 0
     time_seconds: float = 0.0
     unknowns: int = 0
+    cache_hits: int = 0  # answered by the shared QueryCache
+    cache_misses: int = 0
     per_query_conflicts: list[int] = field(default_factory=list)
+
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another solver's counters into this one (batch aggregation)."""
+        self.queries += other.queries
+        self.fast_path += other.fast_path
+        self.sat_calls += other.sat_calls
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.time_seconds += other.time_seconds
+        self.unknowns += other.unknowns
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.per_query_conflicts.extend(other.per_query_conflicts)
 
 
 class Model:
@@ -67,6 +86,17 @@ class Model:
         return self._blaster.model_bool(term)
 
 
+def _fingerprint(*parts) -> int:
+    """A 64-bit process-independent fingerprint.
+
+    ``hash()`` is randomized per interpreter (PYTHONHASHSEED), which would
+    make witness search — and hence query outcomes and cache contents —
+    differ between the batch driver's worker processes and the parent.
+    """
+    data = "\x1f".join(str(part) for part in parts).encode()
+    return zlib.crc32(data) | (zlib.crc32(data[::-1]) << 32)
+
+
 def _random_witness(goal: Term, attempts: int = 4) -> bool:
     """Try a few deterministic pseudo-random assignments; True iff one
     satisfies ``goal`` (a sound SAT witness).  Never returns a wrong
@@ -78,12 +108,12 @@ def _random_witness(goal: Term, attempts: int = 4) -> bool:
         return False
 
     def select_handler(array: str, offset: int, width: int) -> int:
-        return (hash((array, offset, seed)) & t.mask(width))
+        return _fingerprint(array, offset, seed) & t.mask(width)
 
     for seed in range(attempts):
         env = {}
         for var in variables:
-            fingerprint = hash((var.name, seed))
+            fingerprint = _fingerprint(var.name, seed)
             if var.sort is t.BOOL:
                 env[var.name] = bool(fingerprint & 1)
             elif seed == 0:
@@ -237,7 +267,11 @@ class Solver:
     — the stand-in for the paper's 3-hour wall-clock limit.
     """
 
-    def __init__(self, conflict_budget: int | None = 200_000):
+    def __init__(
+        self,
+        conflict_budget: int | None = 200_000,
+        cache: "QueryCache | None" = None,
+    ):
         self.conflict_budget = conflict_budget
         self.stats = QueryStats()
         self.last_model: Model | None = None
@@ -245,6 +279,9 @@ class Solver:
         #: (the same path-condition pair is checked once per candidate
         #: pairing); terms are interned so the key is O(1).
         self._memo: dict[Term, Result] = {}
+        #: optional shared :class:`repro.smt.cache.QueryCache` — consulted
+        #: after the per-solver memo, fed with every decided answer.
+        self.cache = cache
 
     # -- core entry points -----------------------------------------------------
 
@@ -278,12 +315,22 @@ class Solver:
             self.stats.fast_path += 1
             self.stats.time_seconds += time.perf_counter() - started
             return cached
+        if self.cache is not None:
+            shared = self.cache.lookup(goal, self.conflict_budget)
+            if shared is not None and not (need_model and shared is Result.SAT):
+                self._memo[goal] = shared
+                self.stats.cache_hits += 1
+                self.stats.fast_path += 1
+                self.stats.time_seconds += time.perf_counter() - started
+                return shared
+            self.stats.cache_misses += 1
         if not need_model and _random_witness(goal):
             # A concrete assignment satisfies the formula: SAT without
             # touching the SAT solver.  This discharges most feasibility
             # checks, including multiplication-heavy ones that are
             # expensive to bit-blast.
             self._memo[goal] = Result.SAT
+            self._share(goal, Result.SAT, cost=0)
             self.stats.fast_path += 1
             self.stats.time_seconds += time.perf_counter() - started
             return Result.SAT
@@ -292,6 +339,7 @@ class Solver:
         # structure plus trichotomy never needs arithmetic bit-blasting.
         if _skeleton_unsat(t.and_(goal, _comparison_lemmas(goal))):
             self._memo[goal] = Result.UNSAT
+            self._share(goal, Result.UNSAT, cost=0)
             self.stats.fast_path += 1
             self.stats.time_seconds += time.perf_counter() - started
             return Result.UNSAT
@@ -306,15 +354,24 @@ class Solver:
         self.stats.decisions += sat_solver.stats.decisions
         self.stats.per_query_conflicts.append(sat_solver.stats.conflicts)
         self.stats.time_seconds += time.perf_counter() - started
+        # Minimal deciding budget: the CDCL loop gives up *at* the budget-th
+        # conflict, so a run that decided after c conflicts needs c + 1.
+        cost = sat_solver.stats.conflicts + 1
         if outcome is SatResult.SAT:
             self.last_model = Model(blaster)
             self._memo[bare_goal] = Result.SAT
+            self._share(bare_goal, Result.SAT, cost)
             return Result.SAT
         if outcome is SatResult.UNSAT:
             self._memo[bare_goal] = Result.UNSAT
+            self._share(bare_goal, Result.UNSAT, cost)
             return Result.UNSAT
         self.stats.unknowns += 1
         return Result.UNKNOWN
+
+    def _share(self, goal: Term, result: Result, cost: int) -> None:
+        if self.cache is not None:
+            self.cache.store(goal, result, cost)
 
     def is_valid(self, formula: Term) -> Result:
         """Validity: VALID iff the negation is unsatisfiable.

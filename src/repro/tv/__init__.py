@@ -1,7 +1,8 @@
 """The Translation Validation system for LLVM ISel (paper Figure 5)."""
 
 from repro.tv.driver import Category, TvOptions, TvOutcome, validate_function
-from repro.tv.batch import BatchResult, run_batch
+from repro.tv.batch import BatchResult, run_batch, run_corpus
+from repro.tv.parallel import run_batch_parallel
 
 __all__ = [
     "BatchResult",
@@ -9,5 +10,7 @@ __all__ = [
     "TvOptions",
     "TvOutcome",
     "run_batch",
+    "run_batch_parallel",
+    "run_corpus",
     "validate_function",
 ]

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import dataclasses
+from collections import Counter
 from dataclasses import dataclass, field
 from statistics import mean, median
 
 from repro.llvm import ir
+from repro.smt import QueryCache, QueryStats
 from repro.tv.driver import Category, TvOptions, TvOutcome, validate_function
 
 
@@ -14,19 +17,27 @@ class BatchResult:
     outcomes: list[TvOutcome] = field(default_factory=list)
     #: functions excluded before validation (unsupported fragment).
     excluded: int = 0
+    #: solver counters merged across every validated function.
+    solver_stats: QueryStats = field(default_factory=QueryStats)
 
     @property
     def supported(self) -> list[TvOutcome]:
         return [o for o in self.outcomes if o.category != Category.UNSUPPORTED]
 
+    @property
+    def category_counts(self) -> Counter:
+        """Outcome tally — one O(n) pass, not one per category queried."""
+        return Counter(o.category for o in self.outcomes)
+
     def count(self, category: str) -> int:
-        return sum(1 for o in self.outcomes if o.category == category)
+        return self.category_counts[category]
 
     def success_rate(self) -> float:
-        supported = self.supported
+        counts = self.category_counts
+        supported = len(self.outcomes) - counts[Category.UNSUPPORTED]
         if not supported:
             return 0.0
-        return self.count(Category.SUCCEEDED) / len(supported)
+        return counts[Category.SUCCEEDED] / supported
 
     def times(self) -> list[float]:
         return [o.seconds for o in self.supported]
@@ -34,18 +45,27 @@ class BatchResult:
     def sizes(self) -> list[int]:
         return [o.code_size for o in self.supported]
 
+    def merge_stats(self) -> None:
+        """Recompute ``solver_stats`` from the per-outcome counters."""
+        merged = QueryStats()
+        for outcome in self.outcomes:
+            if outcome.solver_stats is not None:
+                merged.merge(outcome.solver_stats)
+        self.solver_stats = merged
+
     def figure6_rows(self) -> list[tuple[str, int]]:
         """The rows of the paper's Figure 6."""
-        supported = self.supported
+        counts = self.category_counts
+        supported = len(self.outcomes) - counts[Category.UNSUPPORTED]
         return [
-            ("Succeeded", self.count(Category.SUCCEEDED)),
-            ("Failed due to timeout", self.count(Category.TIMEOUT)),
-            ("Failed due to out-of-memory", self.count(Category.OOM)),
+            ("Succeeded", counts[Category.SUCCEEDED]),
+            ("Failed due to timeout", counts[Category.TIMEOUT]),
+            ("Failed due to out-of-memory", counts[Category.OOM]),
             (
                 "Other",
-                self.count(Category.OTHER) + self.count(Category.MISCOMPILED),
+                counts[Category.OTHER] + counts[Category.MISCOMPILED],
             ),
-            ("Total", len(supported)),
+            ("Total", supported),
         ]
 
     def summary(self) -> str:
@@ -59,6 +79,16 @@ class BatchResult:
                 f" max={max(times):.3f}s"
             )
         lines.append(f"success rate: {100 * self.success_rate():.2f}%")
+        stats = self.solver_stats
+        if stats.queries:
+            lookups = stats.cache_hits + stats.cache_misses
+            rate = 100 * stats.cache_hits / lookups if lookups else 0.0
+            lines.append(
+                f"solver: queries={stats.queries} sat_calls={stats.sat_calls}"
+                f" cache_hits={stats.cache_hits}"
+                f" cache_misses={stats.cache_misses}"
+                f" hit-rate={rate:.1f}%"
+            )
         return "\n".join(lines)
 
 
@@ -67,32 +97,64 @@ def run_batch(
     options: TvOptions | None = None,
     function_names: list[str] | None = None,
     overrides: dict[str, TvOptions] | None = None,
+    cache: QueryCache | None = None,
+    cache_dir: str | None = None,
 ) -> BatchResult:
     """Validate every function of a module (or the listed subset).
 
     ``overrides`` supplies per-function options (used by the corpus runner
     to validate designated functions with the imprecise liveness variant).
+    One :class:`~repro.smt.cache.QueryCache` is shared across the whole
+    batch — pass ``cache`` to reuse an existing one, or ``cache_dir`` to
+    also persist decided queries across runs.
     """
     result = BatchResult()
     names = function_names if function_names is not None else list(module.functions)
     overrides = overrides or {}
+    if cache is None:
+        cache = QueryCache(cache_dir=cache_dir)
     for name in names:
         result.outcomes.append(
-            validate_function(module, name, overrides.get(name, options))
+            validate_function(module, name, overrides.get(name, options), cache)
         )
+    result.merge_stats()
     return result
 
 
-def run_corpus(corpus, options: TvOptions | None = None) -> BatchResult:
-    """Validate a generated corpus (see :mod:`repro.workloads.corpus`)."""
-    import dataclasses
+def corpus_overrides(corpus, base: TvOptions) -> dict[str, TvOptions]:
+    """Per-function option overrides for a generated corpus.
 
-    module = corpus.build_module()
-    base = options or TvOptions.for_campaign()
+    Derived from the *passed* base options — a function designated for the
+    imprecise-liveness variant must still inherit every other setting of
+    the campaign configuration (budgets, ISel flags, ...).
+    """
     overrides: dict[str, TvOptions] = {}
     for spec in corpus.functions:
         if spec.imprecise_liveness:
             overrides[spec.name] = dataclasses.replace(
                 base, imprecise_liveness=True
             )
-    return run_batch(module, base, overrides=overrides)
+    return overrides
+
+
+def run_corpus(
+    corpus,
+    options: TvOptions | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> BatchResult:
+    """Validate a generated corpus (see :mod:`repro.workloads.corpus`).
+
+    ``jobs > 1`` fans the functions out over worker processes via
+    :func:`repro.tv.parallel.run_batch_parallel`.
+    """
+    module = corpus.build_module()
+    base = options or TvOptions.for_campaign()
+    overrides = corpus_overrides(corpus, base)
+    if jobs > 1:
+        from repro.tv.parallel import run_batch_parallel
+
+        return run_batch_parallel(
+            module, base, jobs=jobs, overrides=overrides, cache_dir=cache_dir
+        )
+    return run_batch(module, base, overrides=overrides, cache_dir=cache_dir)

@@ -36,6 +36,7 @@ from repro.keq import (
 )
 from repro.llvm import ir
 from repro.llvm.semantics import LlvmSemantics, SemanticsError
+from repro.smt import QueryCache, QueryStats, Solver
 from repro.vcgen import VcGenError, generate_sync_points
 from repro.vx86.semantics import Vx86Semantics
 
@@ -73,6 +74,8 @@ class TvOutcome:
     seconds: float = 0.0
     code_size: int = 0  # LLVM instruction count
     sync_points: int = 0
+    #: per-function solver counters (merged batch-wide by BatchResult).
+    solver_stats: QueryStats | None = None
 
     @property
     def ok(self) -> bool:
@@ -92,11 +95,17 @@ def validate_function(
     module: ir.Module,
     function_name: str,
     options: TvOptions | None = None,
+    cache: QueryCache | None = None,
 ) -> TvOutcome:
+    """Validate one function; ``cache`` is an optional shared solver-level
+    query cache (see :mod:`repro.smt.cache`) reused across functions."""
     options = options or TvOptions()
     function = module.function(function_name)
     size = _code_size(function)
     started = time.perf_counter()
+    solver = Solver(
+        conflict_budget=options.keq.solver_conflict_budget, cache=cache
+    )
 
     def done(category: str, report=None, detail="", points=0) -> TvOutcome:
         return TvOutcome(
@@ -107,6 +116,7 @@ def validate_function(
             seconds=time.perf_counter() - started,
             code_size=size,
             sync_points=points,
+            solver_stats=solver.stats,
         )
 
     # 1. Instruction selection + hint generation.
@@ -140,7 +150,7 @@ def validate_function(
     # 3. KEQ.
     left = LlvmSemantics(module)
     right = Vx86Semantics({machine.name: machine})
-    keq = Keq(left, right, default_acceptability(), options.keq)
+    keq = Keq(left, right, default_acceptability(), options.keq, solver=solver)
     try:
         report = keq.check_equivalence(points)
     except SemanticsError as error:

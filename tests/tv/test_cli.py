@@ -97,3 +97,19 @@ class TestCampaign:
         assert main(["campaign", "--scale", "6", "--seed", "11"]) == 0
         out = capsys.readouterr().out
         assert "Succeeded" in out
+
+    def test_campaign_jobs_and_cache_dir_flags(self, tmp_path, capsys):
+        directory = str(tmp_path / "qc")
+        argv = [
+            "campaign", "--scale", "6", "--seed", "11",
+            "--jobs", "2", "--cache-dir", directory,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        assert "Succeeded" in out
+        assert "solver: queries=" in out
+        # Second run reuses the persistent cache: the hit counter is live.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache_hits=0 " not in warm

@@ -7,8 +7,8 @@ import pytest
 from repro.isel import BugMode, IselOptions
 from repro.keq import KeqOptions
 from repro.llvm import parse_module
-from repro.tv import Category, TvOptions, validate_function
-from repro.tv.batch import run_batch, run_corpus
+from repro.tv import Category, TvOptions, TvOutcome, validate_function
+from repro.tv.batch import BatchResult, corpus_overrides, run_batch, run_corpus
 from repro.workloads import FunctionShape, gcc_like_corpus, generate_module
 
 SIMPLE = "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 1\n  ret i32 %a\n}"
@@ -142,3 +142,74 @@ class TestBatch:
         module = generate_module([("a", FunctionShape(loops=0, diamonds=0), 1)])
         text = run_batch(module).summary()
         assert "Succeeded" in text and "success rate" in text
+
+    def test_summary_includes_solver_line(self):
+        module = generate_module([("a", FunctionShape(loops=0, diamonds=1), 1)])
+        text = run_batch(module).summary()
+        assert "solver: queries=" in text
+        assert "hit-rate=" in text
+
+
+class TestCategoryCounts:
+    @staticmethod
+    def _result():
+        categories = (
+            [Category.SUCCEEDED] * 3
+            + [Category.TIMEOUT] * 2
+            + [Category.OOM, Category.OTHER, Category.MISCOMPILED]
+            + [Category.UNSUPPORTED] * 2
+        )
+        return BatchResult(
+            outcomes=[
+                TvOutcome(f"f{i}", category)
+                for i, category in enumerate(categories)
+            ]
+        )
+
+    def test_counts_match_manual_tally(self):
+        result = self._result()
+        counts = result.category_counts
+        assert counts[Category.SUCCEEDED] == 3
+        assert counts[Category.TIMEOUT] == 2
+        assert counts[Category.UNSUPPORTED] == 2
+        assert result.count(Category.OOM) == 1
+        assert result.count("no-such-category") == 0
+
+    def test_figure6_rows_consistent_with_counts(self):
+        result = self._result()
+        rows = dict(result.figure6_rows())
+        assert rows["Succeeded"] == 3
+        assert rows["Failed due to timeout"] == 2
+        assert rows["Failed due to out-of-memory"] == 1
+        assert rows["Other"] == 2  # OTHER + MISCOMPILED
+        assert rows["Total"] == 8  # unsupported excluded
+        assert result.success_rate() == 3 / 8
+
+
+class TestCorpusOverrides:
+    def test_overrides_inherit_passed_base_options(self):
+        corpus = gcc_like_corpus(scale=6, seed=11)
+        base = TvOptions(keq=KeqOptions(max_steps=7))
+        overrides = corpus_overrides(corpus, base)
+        imprecise = [s for s in corpus.functions if s.imprecise_liveness]
+        assert imprecise, "corpus should designate imprecise functions"
+        assert set(overrides) == {s.name for s in imprecise}
+        for options in overrides.values():
+            assert options.imprecise_liveness is True
+            # Regression: the override used to be built from the *default*
+            # options, silently dropping the campaign configuration.
+            assert options.keq.max_steps == 7
+
+    def test_run_corpus_imprecise_function_keeps_base_budget(self):
+        corpus = gcc_like_corpus(scale=6, seed=11)
+        imprecise = {
+            s.name for s in corpus.functions if s.imprecise_liveness
+        }
+        # With a 2-step budget inherited by the override, the imprecise
+        # function runs out of steps (TIMEOUT) before the inadequate sync
+        # points can manifest; with the (buggy) default-derived override it
+        # would report OTHER under the default 4000-step budget.
+        result = run_corpus(corpus, TvOptions(keq=KeqOptions(max_steps=2)))
+        by_name = {o.function: o for o in result.outcomes}
+        for name in imprecise:
+            assert by_name[name].category == Category.TIMEOUT

@@ -1,0 +1,156 @@
+"""Tests for the parallel batch driver (fan-out, hard kill, determinism)."""
+
+import time
+
+from repro.keq import KeqOptions
+from repro.tv import Category, TvOptions
+from repro.tv.batch import corpus_overrides, run_batch, run_corpus
+from repro.tv.parallel import default_validate, run_batch_parallel
+from repro.workloads import FunctionShape, gcc_like_corpus, generate_module
+
+
+def _outcome_keys(result):
+    return [(o.function, o.category) for o in result.outcomes]
+
+
+# -- worker hooks: must be module-level so spawn children can import them ----
+
+
+def hang_on_marked(module, name, options, cache):
+    """Sleeps forever on functions named ``*hang*`` (hard-kill exercise)."""
+    if "hang" in name:
+        time.sleep(3600)
+    return default_validate(module, name, options, cache)
+
+
+def crash_on_marked(module, name, options, cache):
+    if "crash" in name:
+        raise RuntimeError("injected validation crash")
+    return default_validate(module, name, options, cache)
+
+
+def die_on_marked(module, name, options, cache):
+    if "die" in name:
+        import os
+
+        os._exit(17)  # simulate a segfault/OOM-kill: no exception, no reply
+    return default_validate(module, name, options, cache)
+
+
+class TestJobsOneIdentity:
+    def test_jobs1_equals_sequential_on_corpus(self):
+        corpus = gcc_like_corpus(scale=8, seed=7)
+        module = corpus.build_module()
+        base = TvOptions()  # no wall budget: outcomes are step-budget exact
+        overrides = corpus_overrides(corpus, base)
+        sequential = run_batch(module, base, overrides=overrides)
+        parallel = run_batch_parallel(
+            module, base, jobs=1, overrides=overrides
+        )
+        assert _outcome_keys(parallel) == _outcome_keys(sequential)
+        for seq, par in zip(sequential.outcomes, parallel.outcomes):
+            assert seq.detail == par.detail
+            assert seq.sync_points == par.sync_points
+            assert seq.code_size == par.code_size
+
+    def test_jobs2_preserves_input_order(self):
+        corpus = gcc_like_corpus(scale=8, seed=7)
+        module = corpus.build_module()
+        base = TvOptions()
+        overrides = corpus_overrides(corpus, base)
+        sequential = run_batch(module, base, overrides=overrides)
+        parallel = run_batch_parallel(
+            module, base, jobs=2, overrides=overrides
+        )
+        assert _outcome_keys(parallel) == _outcome_keys(sequential)
+
+    def test_merged_solver_stats(self):
+        module = generate_module(
+            [
+                ("a", FunctionShape(loops=0, diamonds=1), 1),
+                ("b", FunctionShape(loops=1), 2),
+            ]
+        )
+        result = run_batch_parallel(module, jobs=1)
+        assert result.solver_stats.queries > 0
+
+
+class TestHardKill:
+    def test_hung_function_times_out_without_stalling_pool(self):
+        module = generate_module(
+            [
+                ("ok_one", FunctionShape(loops=0, diamonds=0), 1),
+                ("hang_me", FunctionShape(loops=0, diamonds=0), 2),
+                ("ok_two", FunctionShape(loops=0, diamonds=0), 3),
+            ]
+        )
+        options = TvOptions(keq=KeqOptions(wall_budget_seconds=0.2))
+        started = time.perf_counter()
+        result = run_batch_parallel(
+            module,
+            options,
+            jobs=2,
+            validate=hang_on_marked,
+            grace_factor=1.0,
+            grace_slack=0.5,
+        )
+        elapsed = time.perf_counter() - started
+        by_name = {o.function: o for o in result.outcomes}
+        assert by_name["hang_me"].category == Category.TIMEOUT
+        assert "hard wall-clock kill" in by_name["hang_me"].detail
+        assert by_name["ok_one"].category == Category.SUCCEEDED
+        assert by_name["ok_two"].category == Category.SUCCEEDED
+        assert elapsed < 60  # the pool drained instead of stalling
+
+    def test_crashing_function_is_other_with_traceback(self):
+        module = generate_module(
+            [
+                ("ok_one", FunctionShape(loops=0, diamonds=0), 1),
+                ("crash_me", FunctionShape(loops=0, diamonds=0), 2),
+            ]
+        )
+        result = run_batch_parallel(
+            module, TvOptions(), jobs=1, validate=crash_on_marked
+        )
+        by_name = {o.function: o for o in result.outcomes}
+        assert by_name["crash_me"].category == Category.OTHER
+        assert "injected validation crash" in by_name["crash_me"].detail
+        assert by_name["ok_one"].category == Category.SUCCEEDED
+
+    def test_dead_worker_is_other_and_pool_recovers(self):
+        module = generate_module(
+            [
+                ("die_hard", FunctionShape(loops=0, diamonds=0), 1),
+                ("ok_one", FunctionShape(loops=0, diamonds=0), 2),
+                ("ok_two", FunctionShape(loops=0, diamonds=0), 3),
+            ]
+        )
+        result = run_batch_parallel(
+            module, TvOptions(), jobs=1, validate=die_on_marked
+        )
+        by_name = {o.function: o for o in result.outcomes}
+        assert by_name["die_hard"].category == Category.OTHER
+        assert "worker process died" in by_name["die_hard"].detail
+        assert by_name["ok_one"].category == Category.SUCCEEDED
+        assert by_name["ok_two"].category == Category.SUCCEEDED
+
+
+class TestParallelCorpusAndCache:
+    def test_run_corpus_parallel_matches_sequential(self):
+        corpus = gcc_like_corpus(scale=6, seed=5)
+        base = TvOptions()
+        sequential = run_corpus(corpus, base)
+        parallel = run_corpus(corpus, base, jobs=2)
+        assert _outcome_keys(parallel) == _outcome_keys(sequential)
+
+    def test_parallel_workers_share_persistent_cache(self, tmp_path):
+        corpus = gcc_like_corpus(scale=6, seed=5)
+        base = TvOptions()
+        directory = str(tmp_path / "qc")
+        cold = run_corpus(corpus, base, jobs=2, cache_dir=directory)
+        warm = run_corpus(corpus, base, jobs=2, cache_dir=directory)
+        assert _outcome_keys(warm) == _outcome_keys(cold)
+        assert warm.solver_stats.cache_hits > 0
+        assert (
+            warm.solver_stats.cache_hits >= cold.solver_stats.cache_hits
+        )
