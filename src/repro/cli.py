@@ -5,10 +5,12 @@ Usage::
     python -m repro single FILE.ll [--function NAME] [options]
     python -m repro show FILE.ll [--function NAME] [options]
     python -m repro campaign [--scale N] [--seed N]
+    python -m repro fuzz [--seed N] [--iterations N]
 
 ``single`` validates one function end to end; ``show`` prints the ISel
 output and the generated synchronization points; ``campaign`` reruns the
-Figure 6/7 evaluation on the synthetic corpus.
+Figure 6/7 evaluation on the synthetic corpus; ``fuzz`` runs the
+differential testing campaign against the SMT stack.
 """
 
 from __future__ import annotations
@@ -127,6 +129,24 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import GenConfig, run_fuzz
+
+    config = GenConfig(max_depth=args.max_depth, allow_select=not args.no_select)
+    report = run_fuzz(
+        args.seed,
+        args.iterations,
+        config=config,
+        shrink_failures=not args.no_shrink,
+        max_violations=args.max_violations,
+    )
+    print(report.summary())
+    for violation in report.violations:
+        print()
+        print(violation.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -175,6 +195,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent solver query cache shared across runs and workers",
     )
     campaign.set_defaults(run=cmd_campaign)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential-fuzz the SMT stack (generator + oracles)"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--iterations", type=int, default=500)
+    fuzz.add_argument(
+        "--max-depth", type=int, default=5, help="maximum generated term depth"
+    )
+    fuzz.add_argument(
+        "--no-select",
+        action="store_true",
+        help="disable uninterpreted select atoms in generated terms",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw counterexamples without delta-debugging them",
+    )
+    fuzz.add_argument(
+        "--max-violations",
+        type=int,
+        default=3,
+        help="stop the campaign after this many oracle violations",
+    )
+    fuzz.set_defaults(run=cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,52 @@
+"""Differential/metamorphic fuzzing of the SMT stack (``repro fuzz``).
+
+The whole reproduction rests on a hand-rolled trusted base — terms →
+simplify → bit-blast → CDCL → cache — and a single unsound rewrite or
+stale cache hit silently corrupts KEQ's cut-bisimulation verdicts.  This
+subpackage is the regression net: a seeded term generator
+(:mod:`repro.fuzz.generator`), oracles that cross-check the stack's layers
+against each other (:mod:`repro.fuzz.oracles`), a delta-debugging shrinker
+(:mod:`repro.fuzz.shrink`), and the campaign driver wired into the CLI
+(:mod:`repro.fuzz.harness`).
+"""
+
+from repro.fuzz.generator import (
+    GenConfig,
+    TermGenerator,
+    deterministic_env,
+    deterministic_select,
+)
+from repro.fuzz.harness import FuzzReport, ShrunkViolation, run_fuzz
+from repro.fuzz.oracles import (
+    Violation,
+    brute_force_eligible,
+    brute_force_sat,
+    check_brute_force,
+    check_cache_consistency,
+    check_implication_forms,
+    check_model_soundness,
+    check_simplify_eval,
+    first_true_partition,
+)
+from repro.fuzz.shrink import shrink, shrink_term
+
+__all__ = [
+    "FuzzReport",
+    "GenConfig",
+    "ShrunkViolation",
+    "TermGenerator",
+    "Violation",
+    "brute_force_eligible",
+    "brute_force_sat",
+    "check_brute_force",
+    "check_cache_consistency",
+    "check_implication_forms",
+    "check_model_soundness",
+    "check_simplify_eval",
+    "deterministic_env",
+    "deterministic_select",
+    "first_true_partition",
+    "run_fuzz",
+    "shrink",
+    "shrink_term",
+]

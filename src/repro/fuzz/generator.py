@@ -1,0 +1,295 @@
+"""Seeded random generator of well-sorted SMT terms.
+
+The generator drives the differential oracles in :mod:`repro.fuzz.oracles`:
+it produces boolean and bitvector terms over a small variable pool, mixing
+every operation the term layer supports (``repro.smt.terms``), at the width
+palette the KEQ pipeline actually uses (1/8/16/32), with bounded depth and
+optional uninterpreted ``select`` atoms.
+
+Determinism contract: one :class:`TermGenerator` seeded with ``S`` produces
+the same term sequence on every platform and process (``random.Random`` is
+specified, and term construction is side-effect-free).  Environments for a
+term are *not* drawn from the generator's stream — they are a pure function
+of the variable name and a trial index (:func:`deterministic_env`) so that
+oracles re-evaluate identically while the shrinker mutates the term.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.smt import terms as t
+from repro.smt.terms import BOOL, Term
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Shape parameters for the generator (all deterministic)."""
+
+    widths: tuple[int, ...] = (1, 8, 16, 32)
+    max_depth: int = 5
+    #: distinct bitvector variables available per width.
+    vars_per_width: int = 3
+    #: distinct boolean variables.
+    bool_vars: int = 2
+    #: probability that an eligible leaf is a constant rather than a variable.
+    const_bias: float = 0.35
+    #: whether uninterpreted ``select`` atoms may appear (their offsets are
+    #: always select-free, so model extraction stays well-founded).
+    allow_select: bool = False
+    select_arrays: tuple[str, ...] = ("mem", "stk")
+
+
+#: Binary bitvector operations taking and returning the same width.
+#: Cheap-to-bitblast operations are listed twice: divisions still appear
+#: regularly (their edge cases are prime oracle fodder) but don't dominate
+#: solver-oracle time with 32-bit divider circuits.
+_BV_BINOPS = (
+    t.add,
+    t.add,
+    t.sub,
+    t.sub,
+    t.mul,
+    t.udiv,
+    t.urem,
+    t.sdiv,
+    t.srem,
+    t.bvand,
+    t.bvand,
+    t.bvor,
+    t.bvor,
+    t.bvxor,
+    t.bvxor,
+    t.shl,
+    t.shl,
+    t.lshr,
+    t.lshr,
+    t.ashr,
+    t.ashr,
+)
+
+#: Binary comparison constructors producing booleans.
+_COMPARISONS = (
+    t.eq,
+    t.ne,
+    t.ult,
+    t.ule,
+    t.ugt,
+    t.uge,
+    t.slt,
+    t.sle,
+    t.sgt,
+    t.sge,
+)
+
+
+def _corner_values(width: int) -> tuple[int, ...]:
+    """Constants most likely to expose arithmetic edge cases."""
+    return (
+        0,
+        1,
+        t.mask(width),  # all-ones / -1
+        1 << (width - 1),  # INT_MIN
+        (1 << (width - 1)) - 1,  # INT_MAX
+        width,  # interesting for shifts
+    )
+
+
+class TermGenerator:
+    """Random well-sorted term factory over a fixed variable pool."""
+
+    def __init__(self, seed: int, config: GenConfig | None = None):
+        self.rng = random.Random(seed)
+        self.config = config or GenConfig()
+
+    # -- leaves ----------------------------------------------------------------
+
+    def _bv_leaf(self, width: int) -> Term:
+        rng = self.rng
+        if rng.random() < self.config.const_bias:
+            corners = _corner_values(width)
+            if rng.random() < 0.7:
+                return t.bv_const(rng.choice(corners), width)
+            return t.bv_const(rng.getrandbits(width), width)
+        index = rng.randrange(self.config.vars_per_width)
+        return t.bv_var(f"v{width}_{index}", width)
+
+    def _bool_leaf(self) -> Term:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.08:
+            return t.TRUE if rng.random() < 0.5 else t.FALSE
+        index = rng.randrange(self.config.bool_vars)
+        return t.bool_var(f"p{index}")
+
+    # -- bitvector terms -------------------------------------------------------
+
+    def bv_term(self, width: int, depth: int | None = None) -> Term:
+        """A random bitvector term of exactly ``width`` bits."""
+        if depth is None:
+            depth = self.config.max_depth
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.18:
+            return self._bv_leaf(width)
+        producers = ["binop", "binop", "unop", "ite", "bool_to_bv"]
+        narrower = [w for w in self.config.widths if w < width]
+        wider = [w for w in self.config.widths if w > width]
+        if narrower:
+            producers.append("extend")
+        if wider:
+            producers.append("extract")
+        if width >= 2:
+            producers.append("concat")
+        if self.config.allow_select:
+            producers.append("select")
+        kind = rng.choice(producers)
+        if kind == "binop":
+            op = rng.choice(_BV_BINOPS)
+            return op(self.bv_term(width, depth - 1), self.bv_term(width, depth - 1))
+        if kind == "unop":
+            op = rng.choice((t.neg, t.bvnot))
+            return op(self.bv_term(width, depth - 1))
+        if kind == "ite":
+            return t.ite(
+                self.bool_term(depth - 1),
+                self.bv_term(width, depth - 1),
+                self.bv_term(width, depth - 1),
+            )
+        if kind == "bool_to_bv":
+            return t.bool_to_bv(self.bool_term(depth - 1), width)
+        if kind == "extend":
+            inner = self.bv_term(rng.choice(narrower), depth - 1)
+            return (t.zext if rng.random() < 0.5 else t.sext)(inner, width)
+        if kind == "extract":
+            inner = self.bv_term(rng.choice(wider), depth - 1)
+            low = rng.randrange(inner.width - width + 1)
+            return t.extract(inner, low + width - 1, low)
+        if kind == "concat":
+            hi_width = rng.randrange(1, width)
+            return t.concat(
+                self.bv_term(hi_width, depth - 1),
+                self.bv_term(width - hi_width, depth - 1),
+            )
+        assert kind == "select"
+        array = rng.choice(self.config.select_arrays)
+        # Offsets are generated select-free so oracles can evaluate them
+        # under a plain environment before consulting the select handler.
+        offset = self._select_free().bv_term(
+            rng.choice(self.config.widths), min(depth - 1, 2)
+        )
+        return t.select(array, offset, width)
+
+    def _select_free(self) -> "TermGenerator":
+        """A view of this generator (same RNG stream) that never emits select."""
+        if not self.config.allow_select:
+            return self
+        clone = TermGenerator.__new__(TermGenerator)
+        clone.rng = self.rng
+        clone.config = GenConfig(
+            widths=self.config.widths,
+            max_depth=self.config.max_depth,
+            vars_per_width=self.config.vars_per_width,
+            bool_vars=self.config.bool_vars,
+            const_bias=self.config.const_bias,
+            allow_select=False,
+            select_arrays=self.config.select_arrays,
+        )
+        return clone
+
+    # -- boolean terms ---------------------------------------------------------
+
+    def bool_term(self, depth: int | None = None) -> Term:
+        """A random boolean term (a solver goal when used at top level)."""
+        if depth is None:
+            depth = self.config.max_depth
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.15:
+            return self._bool_leaf()
+        kind = rng.choice(
+            [
+                "compare",
+                "compare",
+                "compare",
+                "not",
+                "and",
+                "or",
+                "xorb",
+                "implies",
+                "iff",
+                "ite",
+                "bv_to_bool",
+            ]
+        )
+        if kind == "compare":
+            width = rng.choice(self.config.widths)
+            op = rng.choice(_COMPARISONS)
+            return op(self.bv_term(width, depth - 1), self.bv_term(width, depth - 1))
+        if kind == "not":
+            return t.not_(self.bool_term(depth - 1))
+        if kind in ("and", "or"):
+            count = rng.randrange(2, 4)
+            parts = [self.bool_term(depth - 1) for _ in range(count)]
+            return t.and_(*parts) if kind == "and" else t.or_(*parts)
+        if kind == "xorb":
+            return t.xor_bool(self.bool_term(depth - 1), self.bool_term(depth - 1))
+        if kind == "implies":
+            return t.implies(self.bool_term(depth - 1), self.bool_term(depth - 1))
+        if kind == "iff":
+            return t.iff(self.bool_term(depth - 1), self.bool_term(depth - 1))
+        if kind == "ite":
+            return t.ite(
+                self.bool_term(depth - 1),
+                self.bool_term(depth - 1),
+                self.bool_term(depth - 1),
+            )
+        assert kind == "bv_to_bool"
+        width = rng.choice(self.config.widths)
+        return t.bv_to_bool(self.bv_term(width, depth - 1))
+
+    def formula(self) -> Term:
+        """A top-level boolean goal (what the solver façade consumes)."""
+        return self.bool_term()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic environments (independent of the generator's RNG stream)
+# ---------------------------------------------------------------------------
+
+
+def _fingerprint(*parts) -> int:
+    """Process-independent 64-bit fingerprint (mirrors the solver's)."""
+    data = "\x1f".join(str(part) for part in parts).encode()
+    return zlib.crc32(data) | (zlib.crc32(data[::-1]) << 32)
+
+
+def deterministic_env(term: Term, trial: int) -> dict[str, int | bool]:
+    """A total assignment for ``term``'s free variables, pure in (name, trial).
+
+    Trial 0 is all-zeros and trial 1 all-ones — the classic corner
+    assignments — later trials are fingerprint-pseudorandom.  Because the
+    value depends only on the variable's *name*, evaluating a term and its
+    simplification (whose variable set is a subset) under the same trial is
+    guaranteed to agree on every shared variable.
+    """
+    env: dict[str, int | bool] = {}
+    for var in t.free_vars(term):
+        if var.sort is BOOL:
+            env[var.name] = bool(_fingerprint(var.name, trial) & 1)
+        elif trial == 0:
+            env[var.name] = 0
+        elif trial == 1:
+            env[var.name] = t.mask(var.width)
+        else:
+            env[var.name] = _fingerprint(var.name, trial) & t.mask(var.width)
+    return env
+
+
+def deterministic_select(trial: int):
+    """A pure select handler: value depends only on (array, offset, trial)."""
+
+    def handler(array: str, offset: int, width: int) -> int:
+        return _fingerprint(array, offset, trial) & t.mask(width)
+
+    return handler

@@ -1,0 +1,132 @@
+"""Delta-debugging shrinker for failing terms.
+
+Given a term (or tuple of terms) and a pure predicate "does this still
+fail?", greedily reduce to a local minimum: no constant substitution, no
+same-sorted-subterm hoist, and no single-child reduction keeps the failure
+alive.  The result is printed in :func:`repro.smt.printer.canonical` form,
+which :func:`repro.smt.printer.from_canonical` re-parses exactly — a
+counterexample report is therefore replayable in a fresh process.
+
+The predicate must be deterministic (the oracles' predicates are: they
+derive environments from variable names and trial indices, never from
+shared RNG state), otherwise shrinking could "lose" the bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.smt import terms as t
+from repro.smt.simplify import _rebuild
+from repro.smt.terms import BOOL, Term
+
+#: hard cap on predicate invocations per shrink (the predicate may run the
+#: solver, so each invocation has real cost).
+DEFAULT_BUDGET = 800
+
+
+def _constant_candidates(node: Term) -> Iterator[Term]:
+    if node.sort is BOOL:
+        yield t.FALSE
+        yield t.TRUE
+    else:
+        width = node.width
+        yield t.zero(width)
+        yield t.bv_const(1, width)
+        yield t.ones(width)
+
+
+def _reductions(node: Term, depth: int = 0) -> Iterator[Term]:
+    """Candidate single-step reductions of ``node``, most aggressive first."""
+    if node.is_const():
+        return
+    yield from _constant_candidates(node)
+    # Hoist same-sorted children over the node (drops a whole level).
+    for arg in node.args:
+        if arg.sort is node.sort:
+            yield arg
+    if depth > 24:  # deep recursion guard; outer loop re-reaches the rest
+        return
+    # Reduce exactly one child, rebuilding through the smart constructors.
+    for position, arg in enumerate(node.args):
+        for reduced in _reductions(arg, depth + 1):
+            new_args = tuple(
+                reduced if index == position else original
+                for index, original in enumerate(node.args)
+            )
+            try:
+                yield _rebuild(node, new_args)
+            except (TypeError, ValueError):
+                continue  # ill-sorted rebuild (e.g. width change): skip
+
+
+def shrink_term(
+    term: Term,
+    still_fails: Callable[[Term], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> Term:
+    """Greedy 1-minimal reduction of a single failing term."""
+    current = term
+    spent = 0
+    progress = True
+    while progress and spent < budget:
+        progress = False
+        for candidate in _reductions(current):
+            if candidate is current or t.size(candidate) >= t.size(current):
+                continue
+            spent += 1
+            if spent >= budget:
+                break
+            failed = False
+            try:
+                failed = still_fails(candidate)
+            except Exception:
+                failed = False  # only shrink while the *same* failure holds
+            if failed:
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def shrink(
+    witnesses: tuple[Term, ...],
+    still_fails: Callable[[tuple[Term, ...]], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> tuple[Term, ...]:
+    """Shrink a tuple of witnesses, one position at a time, to a fixpoint.
+
+    Multi-witness oracles (implication partitions, cache batches) shrink
+    each component while holding the others fixed; single-witness oracles
+    degenerate to :func:`shrink_term`.
+    """
+    current = tuple(witnesses)
+    spent = [0]
+
+    def position_predicate(position: int) -> Callable[[Term], bool]:
+        def check(candidate: Term) -> bool:
+            spent[0] += 1
+            mutated = tuple(
+                candidate if index == position else original
+                for index, original in enumerate(current)
+            )
+            return still_fails(mutated)
+
+        return check
+
+    progress = True
+    while progress and spent[0] < budget:
+        progress = False
+        for position in range(len(current)):
+            reduced = shrink_term(
+                current[position],
+                position_predicate(position),
+                budget=max(1, (budget - spent[0]) // max(1, len(current))),
+            )
+            if reduced is not current[position]:
+                current = tuple(
+                    reduced if index == position else original
+                    for index, original in enumerate(current)
+                )
+                progress = True
+    return current

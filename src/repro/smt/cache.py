@@ -141,6 +141,11 @@ class QueryCache:
         if previous is None or cost < previous[1]:
             self._remember(key, result, cost)
             self.stats.stores += 1
+        else:
+            # An equal-or-better entry already exists; keep it, but a
+            # re-store is still a use — refresh LRU recency so hot entries
+            # don't get evicted just because they never improve.
+            self._lru.move_to_end(key)
         if self.cache_dir is not None:
             self._disk_write(key, result, cost)
 

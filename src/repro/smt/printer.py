@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from repro.smt.terms import BOOL, Term
+import ast
+import re
+
+from repro.smt.terms import BOOL, Term, bv_sort
 
 _INFIX = {
     "add": "+",
@@ -94,3 +97,44 @@ def canonical(term: Term) -> str:
         index[node] = len(lines)
         lines.append(f"{node.op}:{sort_str(node)}[{attr}]({args})")
     return ";".join(lines)
+
+
+_CANONICAL_NODE = re.compile(
+    r"(?P<op>\w+):(?P<sort>Bool|i\d+)\[(?P<attr>.*)\]\((?P<args>[\d,]*)\)\Z"
+)
+
+
+def from_canonical(text: str) -> Term:
+    """Parse a :func:`canonical` printing back into the term it came from.
+
+    The inverse of :func:`canonical` — ``from_canonical(canonical(x)) is x``
+    for every term (terms are interned).  This is what makes a fuzzing
+    counterexample reproducible: the shrunk term is printed canonically and
+    can be re-materialized in a fresh process to replay the failure.
+    """
+    nodes: list[Term] = []
+    for line in text.strip().split(";"):
+        match = _CANONICAL_NODE.match(line.strip())
+        if match is None:
+            raise ValueError(f"malformed canonical node: {line!r}")
+        sort_text = match["sort"]
+        sort = BOOL if sort_text == "Bool" else bv_sort(int(sort_text[1:]))
+        attr_text = match["attr"]
+        # Attributes were written with repr(); a literal_eval of the tuple
+        # round-trips ints, bools and (quoted) strings exactly.
+        attr = ast.literal_eval(f"({attr_text},)") if attr_text else ()
+        args_text = match["args"]
+        try:
+            args = (
+                tuple(nodes[int(i)] for i in args_text.split(","))
+                if args_text
+                else ()
+            )
+        except IndexError:
+            raise ValueError(f"forward reference in canonical node: {line!r}")
+        # Children are numbered before parents, so direct construction is
+        # safe; interning maps the key back onto the original object.
+        nodes.append(Term(match["op"], args, attr, sort))
+    if not nodes:
+        raise ValueError("empty canonical printing")
+    return nodes[-1]

@@ -57,6 +57,10 @@ class QueryStats:
     unknowns: int = 0
     cache_hits: int = 0  # answered by the shared QueryCache
     cache_misses: int = 0
+    #: memo/cache entries that held the answer but could not serve the query
+    #: because a model was requested (``need_model=True``).  Not misses: the
+    #: cache knew the result, the caller just needed more than the result.
+    cache_hits_unused: int = 0
     per_query_conflicts: list[int] = field(default_factory=list)
 
     def merge(self, other: "QueryStats") -> None:
@@ -70,6 +74,7 @@ class QueryStats:
         self.unknowns += other.unknowns
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_hits_unused += other.cache_hits_unused
         self.per_query_conflicts.extend(other.per_query_conflicts)
 
 
@@ -84,6 +89,46 @@ class Model:
 
     def eval_bool(self, term: Term) -> bool:
         return self._blaster.model_bool(term)
+
+
+class _ZeroEnv(dict):
+    """A total environment: every variable reads as 0 (False for booleans)."""
+
+    def __contains__(self, key) -> bool:
+        return True
+
+    def __missing__(self, key) -> int:
+        return 0
+
+
+_ZERO_ENV = _ZeroEnv()
+
+
+def _zero_select(array: str, offset: int, width: int) -> int:
+    return 0
+
+
+class TrivialModel(Model):
+    """All-zeros model for goals that simplify to a constant ``true``.
+
+    Any assignment satisfies such a goal, so the all-zeros one is a valid
+    witness; terms are read through concrete evaluation instead of a SAT
+    assignment (``check_sat(..., need_model=True)`` guarantees callers can
+    always read ``last_model`` on SAT, even on the simplification fast path).
+    """
+
+    def __init__(self):
+        pass
+
+    def eval_bv(self, term: Term) -> int:
+        from repro.smt.eval import evaluate
+
+        return int(evaluate(term, _ZERO_ENV, _zero_select))
+
+    def eval_bool(self, term: Term) -> bool:
+        from repro.smt.eval import evaluate
+
+        return bool(evaluate(term, _ZERO_ENV, _zero_select))
 
 
 def _fingerprint(*parts) -> int:
@@ -126,7 +171,7 @@ def _random_witness(goal: Term, attempts: int = 4) -> bool:
             if evaluate(goal, env, select_handler) is True:
                 return True
         except EvalError:
-            return False
+            continue  # a later assignment may avoid the failing path
     return False
 
 
@@ -232,11 +277,18 @@ def _comparison_lemmas(goal: Term) -> Term:
 def _ackermann_lemmas(goal: Term) -> Term:
     """Functional-consistency lemmas for uninterpreted ``select`` terms.
 
-    For every pair of reads from the same array, equal offsets must yield
-    equal values.  This is the only fragment of the array theory KEQ's
-    queries need (the memory model resolves store chains itself).
+    For every pair of same-width reads from the same array, equal offsets
+    must yield equal values.  This is the only fragment of the array theory
+    KEQ's queries need (the memory model resolves store chains itself).
+
+    Reads are grouped by (array, value width) — two reads of different
+    widths cannot be equated — and offsets are compared as unsigned
+    integers (zero-extended to a common width), matching the evaluation
+    semantics where the select handler is keyed by the offset's numeric
+    value.  Found by differential fuzzing: grouping by array name alone
+    crashed on mixed-width offsets and missed congruences across widths.
     """
-    selects: dict[str, list[Term]] = {}
+    selects: dict[tuple[str, int], list[Term]] = {}
     seen: set[Term] = set()
     stack = [goal]
     while stack:
@@ -245,15 +297,18 @@ def _ackermann_lemmas(goal: Term) -> Term:
             continue
         seen.add(node)
         if node.op == "select":
-            selects.setdefault(node.attr[0], []).append(node)
+            selects.setdefault((node.attr[0], node.attr[1]), []).append(node)
         stack.extend(node.args)
     lemmas: list[Term] = []
     for group in selects.values():
         for i, first in enumerate(group):
             for second in group[i + 1 :]:
+                off_a, off_b = first.args[0], second.args[0]
+                width = max(off_a.width, off_b.width)
                 lemmas.append(
                     t.implies(
-                        t.eq(first.args[0], second.args[0]), t.eq(first, second)
+                        t.eq(t.zext(off_a, width), t.zext(off_b, width)),
+                        t.eq(first, second),
                     )
                 )
     return t.conj(lemmas)
@@ -302,6 +357,10 @@ class Solver:
         self.last_model = None
         goal = simplify(goal)
         if goal is t.TRUE:
+            if need_model:
+                # The goal holds under every assignment; hand out an explicit
+                # witness so callers can always read a model on SAT.
+                self.last_model = TrivialModel()
             self.stats.fast_path += 1
             self.stats.time_seconds += time.perf_counter() - started
             return Result.SAT
@@ -316,14 +375,23 @@ class Solver:
             self.stats.time_seconds += time.perf_counter() - started
             return cached
         if self.cache is not None:
-            shared = self.cache.lookup(goal, self.conflict_budget)
-            if shared is not None and not (need_model and shared is Result.SAT):
-                self._memo[goal] = shared
-                self.stats.cache_hits += 1
-                self.stats.fast_path += 1
-                self.stats.time_seconds += time.perf_counter() - started
-                return shared
-            self.stats.cache_misses += 1
+            if cached is not None:
+                # The memo held the answer but a model was requested; the
+                # shared cache cannot supply one either, so don't consult it
+                # (and don't tally a miss — the result *was* cached).
+                self.stats.cache_hits_unused += 1
+            else:
+                shared = self.cache.lookup(goal, self.conflict_budget)
+                if shared is not None:
+                    if not (need_model and shared is Result.SAT):
+                        self._memo[goal] = shared
+                        self.stats.cache_hits += 1
+                        self.stats.fast_path += 1
+                        self.stats.time_seconds += time.perf_counter() - started
+                        return shared
+                    self.stats.cache_hits_unused += 1
+                else:
+                    self.stats.cache_misses += 1
         if not need_model and _random_witness(goal):
             # A concrete assignment satisfies the formula: SAT without
             # touching the SAT solver.  This discharges most feasibility

@@ -1,0 +1,97 @@
+"""The generator's contracts: determinism, well-sortedness, purity."""
+
+from repro.fuzz.generator import (
+    GenConfig,
+    TermGenerator,
+    deterministic_env,
+    deterministic_select,
+)
+from repro.fuzz.oracles import _has_select
+from repro.smt import terms as t
+from repro.smt.eval import evaluate
+from repro.smt.printer import canonical
+from repro.smt.terms import BOOL
+
+
+def _walk(term):
+    seen = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        yield node
+        stack.extend(node.args)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        config = GenConfig(allow_select=True)
+        a = TermGenerator(42, config)
+        b = TermGenerator(42, config)
+        for _ in range(50):
+            assert canonical(a.formula()) == canonical(b.formula())
+            assert canonical(a.bv_term(16)) == canonical(b.bv_term(16))
+
+    def test_different_seeds_diverge(self):
+        a = [canonical(TermGenerator(1).formula()) for _ in range(10)]
+        b = [canonical(TermGenerator(2).formula()) for _ in range(10)]
+        assert a != b
+
+
+class TestWellSortedness:
+    def test_bv_terms_have_requested_width(self):
+        generator = TermGenerator(7, GenConfig(allow_select=True))
+        for width in (1, 8, 16, 32) * 10:
+            term = generator.bv_term(width)
+            assert term.sort is not BOOL
+            assert term.width == width
+
+    def test_formulas_are_boolean(self):
+        generator = TermGenerator(11, GenConfig(allow_select=True))
+        for _ in range(40):
+            assert generator.formula().sort is BOOL
+
+    def test_select_offsets_are_select_free(self):
+        generator = TermGenerator(13, GenConfig(allow_select=True))
+        selects = 0
+        for _ in range(80):
+            for node in _walk(generator.formula()):
+                if node.op == "select":
+                    selects += 1
+                    assert not _has_select(node.args[0])
+        assert selects > 0  # the configuration really produces select atoms
+
+    def test_no_select_config_never_emits_select(self):
+        generator = TermGenerator(13, GenConfig(allow_select=False))
+        for _ in range(40):
+            assert not _has_select(generator.formula())
+
+
+class TestDeterministicEnvironments:
+    def test_trial_zero_is_all_zeros_and_trial_one_all_ones(self):
+        term = t.add(t.bv_var("x", 8), t.bv_var("y", 8))
+        assert deterministic_env(term, 0) == {"x": 0, "y": 0}
+        assert deterministic_env(term, 1) == {"x": 255, "y": 255}
+
+    def test_env_is_pure_in_name_and_trial(self):
+        term = t.ult(t.bv_var("v32_0", 32), t.bv_var("v32_1", 32))
+        for trial in range(4):
+            assert deterministic_env(term, trial) == deterministic_env(term, trial)
+
+    def test_env_covers_all_free_variables(self):
+        generator = TermGenerator(3, GenConfig(allow_select=True))
+        for trial in range(3):
+            formula = generator.formula()
+            value = evaluate(
+                formula, deterministic_env(formula, trial), deterministic_select(trial)
+            )
+            assert isinstance(value, bool)
+
+    def test_select_handler_is_pure_and_masked(self):
+        handler = deterministic_select(2)
+        assert handler("mem", 17, 8) == handler("mem", 17, 8)
+        for offset in range(16):
+            assert 0 <= handler("stk", offset, 8) <= 255
+        assert deterministic_select(2)("mem", 17, 8) == handler("mem", 17, 8)

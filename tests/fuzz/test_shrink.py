@@ -1,0 +1,90 @@
+"""The delta-debugging shrinker: 1-minimal, predicate-preserving."""
+
+from repro.fuzz.shrink import shrink, shrink_term
+from repro.smt import terms as t
+from repro.smt.eval import evaluate
+
+
+def _contains(term, target):
+    stack = [term]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if node is target:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(node.args)
+    return False
+
+
+class TestShrinkTerm:
+    def test_reduces_to_the_guilty_variable(self):
+        x = t.bv_var("x", 8)
+        big = t.add(
+            t.mul(x, t.bv_var("y", 8)),
+            t.bvxor(t.bv_const(37, 8), t.bv_var("z", 8)),
+        )
+        shrunk = shrink_term(big, lambda c: _contains(c, x))
+        assert shrunk is x
+
+    def test_reduces_boolean_to_constant(self):
+        p = t.bool_var("p")
+        big = t.or_(t.and_(p, t.bool_var("q")), t.not_(p))
+        # "evaluates to True when all variables are False" — TRUE is the
+        # smallest term with that property.
+        shrunk = shrink_term(
+            big, lambda c: evaluate(c, {"p": False, "q": False}) is True
+        )
+        assert shrunk is t.TRUE
+
+    def test_result_always_satisfies_the_predicate(self):
+        x = t.bv_var("x", 16)
+        big = t.sub(t.shl(x, t.bv_const(2, 16)), t.bv_var("w", 16))
+        predicate = lambda c: _contains(c, x)
+        shrunk = shrink_term(big, predicate)
+        assert predicate(shrunk)
+
+    def test_predicate_exceptions_treated_as_not_failing(self):
+        x = t.bv_var("x", 8)
+        big = t.add(x, t.mul(t.bv_var("y", 8), t.bv_const(3, 8)))
+
+        def fragile(candidate):
+            if not _contains(candidate, x):
+                raise RuntimeError("lost the bug")
+            return True
+
+        assert _contains(shrink_term(big, fragile), x)
+
+    def test_budget_caps_predicate_invocations(self):
+        calls = [0]
+
+        def counting(candidate):
+            calls[0] += 1
+            return False
+
+        big = t.add(t.bv_var("x", 32), t.bv_var("y", 32))
+        shrunk = shrink_term(big, counting, budget=5)
+        assert shrunk is big
+        assert calls[0] <= 5
+
+
+class TestShrinkTuple:
+    def test_positions_shrink_independently(self):
+        x, y = t.bv_var("x", 8), t.bv_var("y", 8)
+        witnesses = (
+            t.add(x, t.bv_const(9, 8)),
+            t.mul(y, t.bvnot(t.bv_var("z", 8))),
+        )
+        shrunk = shrink(
+            witnesses,
+            lambda ws: _contains(ws[0], x) and _contains(ws[1], y),
+        )
+        assert shrunk == (x, y)
+
+    def test_single_witness_degenerates_to_shrink_term(self):
+        p = t.bool_var("p")
+        witnesses = (t.and_(p, t.or_(p, t.bool_var("q"))),)
+        shrunk = shrink(witnesses, lambda ws: _contains(ws[0], p))
+        assert shrunk == (p,)

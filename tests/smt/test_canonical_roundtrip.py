@@ -1,0 +1,59 @@
+"""``from_canonical`` must invert ``canonical`` exactly (interned identity),
+so shrunk fuzzing counterexamples replay in a fresh process."""
+
+import pytest
+
+from repro.fuzz.generator import GenConfig, TermGenerator
+from repro.smt import terms as t
+from repro.smt.printer import canonical, from_canonical
+
+
+class TestRoundTrip:
+    def test_handcrafted_terms(self):
+        x = t.bv_var("x", 32)
+        samples = [
+            t.TRUE,
+            t.FALSE,
+            t.bv_const(0xDEADBEEF, 32),
+            x,
+            t.bool_var("p"),
+            t.extract(t.add(x, t.bv_const(1, 32)), 15, 8),
+            t.sext(t.bv_var("y", 8), 32),
+            t.select("mem", t.add(x, x), 8),
+            t.ite(t.bool_var("p"), t.concat(t.bv_var("y", 8), t.bv_var("z", 8)),
+                  t.bvnot(t.bv_var("w", 16))),
+            t.implies(t.ult(x, t.bv_const(10, 32)), t.eq(x, t.zero(32))),
+        ]
+        for sample in samples:
+            assert from_canonical(canonical(sample)) is sample
+
+    def test_generated_terms(self):
+        generator = TermGenerator(77, GenConfig(allow_select=True))
+        for _ in range(100):
+            formula = generator.formula()
+            assert from_canonical(canonical(formula)) is formula
+            term = generator.bv_term(16)
+            assert from_canonical(canonical(term)) is term
+
+    def test_shared_subterms_stay_shared(self):
+        x = t.bv_var("x", 8)
+        shared = t.add(x, t.bv_const(1, 8))
+        term = t.mul(shared, shared)
+        text = canonical(term)
+        # the DAG printing mentions the shared node once
+        assert text.count("add:") == 1
+        assert from_canonical(text) is term
+
+
+class TestMalformedInput:
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            from_canonical("")
+
+    def test_garbage_node(self):
+        with pytest.raises(ValueError):
+            from_canonical("add+i8[](0)")
+
+    def test_forward_reference(self):
+        with pytest.raises(ValueError):
+            from_canonical("add:i8[](0,1)")

@@ -1,0 +1,177 @@
+"""Arithmetic edge cases in the evaluator, checked against an independent
+Python big-int reference.
+
+The fuzzing generator's corner palette (``_corner_values``) drives operand
+selection, so the cases the differential campaign stresses — ``sdiv``/
+``srem`` at INT_MIN/-1 and with mixed signs, shifts at and beyond the
+width, division by zero, width-1 vectors — are pinned down here as plain
+unit tests.  The reference implementations deliberately use a different
+formulation than ``repro.smt.eval`` (``Fraction``-based truncating
+division, Python's unbounded arithmetic shift) so agreement is meaningful.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.fuzz.generator import _corner_values
+from repro.smt import terms as t
+from repro.smt.eval import evaluate
+
+WIDTHS = (1, 8, 16, 32)
+
+
+def _signed(value, width):
+    return value - (1 << width) if value >> (width - 1) else value
+
+
+def _trunc_div(a, b):
+    """C-style division: truncate toward zero (exact, via Fraction)."""
+    q = Fraction(a, b)
+    return -((-q).__floor__()) if q < 0 else q.__floor__()
+
+
+def _reference(op, a, b, width):
+    mask = (1 << width) - 1
+    sa, sb = _signed(a, width), _signed(b, width)
+    if op == "add":
+        return (a + b) & mask
+    if op == "sub":
+        return (a - b) & mask
+    if op == "mul":
+        return (a * b) & mask
+    if op == "udiv":
+        return mask if b == 0 else a // b
+    if op == "urem":
+        return a if b == 0 else a % b
+    if op == "sdiv":
+        # LLVM leaves this UB; the repro stack defines it like x86 would
+        # saturate: -1 for non-negative dividends, +1 otherwise.
+        if sb == 0:
+            return (-1 if sa >= 0 else 1) & mask
+        return _trunc_div(sa, sb) & mask
+    if op == "srem":
+        if sb == 0:
+            return a
+        return (sa - sb * _trunc_div(sa, sb)) & mask
+    if op == "bvand":
+        return a & b
+    if op == "bvor":
+        return a | b
+    if op == "bvxor":
+        return a ^ b
+    if op == "shl":
+        return 0 if b >= width else (a << b) & mask
+    if op == "lshr":
+        return a >> b
+    if op == "ashr":
+        # Python's >> on negative ints is already an unbounded arithmetic
+        # shift (saturating at -1), so no width clamp is needed.
+        return (sa >> b) & mask
+    raise AssertionError(op)
+
+
+_OPS = {
+    "add": t.add,
+    "sub": t.sub,
+    "mul": t.mul,
+    "udiv": t.udiv,
+    "urem": t.urem,
+    "sdiv": t.sdiv,
+    "srem": t.srem,
+    "bvand": t.bvand,
+    "bvor": t.bvor,
+    "bvxor": t.bvxor,
+    "shl": t.shl,
+    "lshr": t.lshr,
+    "ashr": t.ashr,
+}
+
+
+def _eval_op(op, a, b, width):
+    """Evaluate through variables so the evaluator (not the constant
+    folder) computes the result."""
+    term = _OPS[op](t.bv_var("a", width), t.bv_var("b", width))
+    return evaluate(term, {"a": a, "b": b})
+
+
+def _fold_op(op, a, b, width):
+    """The smart constructors' constant folder, for cross-checking."""
+    return _OPS[op](t.bv_const(a, width), t.bv_const(b, width))
+
+
+class TestSignedDivisionCorners:
+    @pytest.mark.parametrize("width", WIDTHS[1:])
+    def test_int_min_divided_by_minus_one_wraps(self, width):
+        int_min = 1 << (width - 1)
+        minus_one = t.mask(width)
+        # |INT_MIN| is unrepresentable; two's-complement wraps to INT_MIN.
+        assert _eval_op("sdiv", int_min, minus_one, width) == int_min
+        assert _eval_op("srem", int_min, minus_one, width) == 0
+
+    @pytest.mark.parametrize("width", WIDTHS[1:])
+    def test_mixed_sign_division_truncates_toward_zero(self, width):
+        seven = 7 % (1 << width)
+        minus_seven = (-7) % (1 << width)
+        two = 2
+        minus_two = (-2) % (1 << width)
+        # -7 / 2 == -3 (not -4: no floor), and the sign identities hold.
+        assert _signed(_eval_op("sdiv", minus_seven, two, width), width) == -3
+        assert _signed(_eval_op("sdiv", seven, minus_two, width), width) == -3
+        assert _signed(_eval_op("sdiv", minus_seven, minus_two, width), width) == 3
+        # remainder takes the dividend's sign
+        assert _signed(_eval_op("srem", minus_seven, two, width), width) == -1
+        assert _signed(_eval_op("srem", seven, minus_two, width), width) == 1
+
+    @pytest.mark.parametrize("op", ["udiv", "urem", "sdiv", "srem"])
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_division_by_zero_is_total(self, op, width):
+        for a in _corner_values(width):
+            a %= 1 << width
+            assert _eval_op(op, a, 0, width) == _reference(op, a, 0, width)
+
+
+class TestShiftCorners:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_shift_amounts_at_and_beyond_width(self, width):
+        for a in (0, 1, t.mask(width), 1 << (width - 1)):
+            for shift in (width - 1, width, width + 1, t.mask(width)):
+                shift %= 1 << width
+                for op in ("shl", "lshr", "ashr"):
+                    assert _eval_op(op, a, shift, width) == _reference(
+                        op, a, shift, width
+                    ), (op, a, shift, width)
+
+    def test_ashr_replicates_the_sign_bit(self):
+        assert _eval_op("ashr", 0x80, 200, 8) == 0xFF
+        assert _eval_op("ashr", 0x7F, 200, 8) == 0
+
+
+class TestWidthOne:
+    """Every operation, exhaustively, on 1-bit vectors."""
+
+    @pytest.mark.parametrize("op", sorted(_OPS))
+    def test_exhaustive(self, op):
+        for a in (0, 1):
+            for b in (0, 1):
+                assert _eval_op(op, a, b, 1) == _reference(op, a, b, 1), (op, a, b)
+
+
+class TestCornerPaletteSweep:
+    """Generator-driven sweep: every op over the corner palette plus
+    pseudorandom operands, evaluator vs reference vs constant folder."""
+
+    @pytest.mark.parametrize("op", sorted(_OPS))
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_corner_pairs(self, op, width):
+        rng = random.Random(hash((op, width)) & 0xFFFF)
+        values = [v % (1 << width) for v in _corner_values(width)]
+        values += [rng.getrandbits(width) for _ in range(4)]
+        for a in values:
+            for b in values:
+                expected = _reference(op, a, b, width)
+                assert _eval_op(op, a, b, width) == expected, (op, a, b, width)
+                folded = _fold_op(op, a, b, width)
+                if folded.is_const():
+                    assert folded.value == expected, (op, a, b, width)

@@ -1,0 +1,148 @@
+"""Regression tests for solver/cache bugs found by inspection (ISSUE 2).
+
+Each test documents a bug that the differential fuzzing harness
+(:mod:`repro.fuzz`) now guards against systematically; all three failed
+before their fixes.
+"""
+
+import pytest
+
+from repro.smt import QueryCache, Result, Solver, t
+from repro.smt import solver as solver_mod
+from repro.smt.eval import EvalError
+
+
+class TestTrivialTrueModel:
+    """check_sat(need_model=True) must populate a model when the goal
+    simplifies to TRUE (previously returned SAT with last_model=None)."""
+
+    def test_literal_true(self):
+        solver = Solver()
+        assert solver.check_sat(t.TRUE, need_model=True) is Result.SAT
+        assert solver.last_model is not None
+
+    def test_goal_simplifying_to_true(self):
+        solver = Solver()
+        a = t.bv_var("a", 32)
+        goal = t.eq(t.add(a, t.zero(32)), a)  # simplifies to TRUE
+        assert solver.check_sat(goal, need_model=True) is Result.SAT
+        assert solver.stats.fast_path == 1  # stayed on the fast path
+        model = solver.last_model
+        assert model is not None
+        # The witness must actually satisfy the (trivially true) goal and
+        # be readable through arbitrary terms, like a bit-blasted model.
+        assert model.eval_bool(goal) is True
+        assert model.eval_bv(a) == 0
+        assert model.eval_bool(t.bool_var("p")) is False
+        assert model.eval_bv(t.select("mem", t.bv_const(3, 32))) == 0
+
+    def test_without_need_model_unchanged(self):
+        solver = Solver()
+        assert solver.check_sat(t.TRUE) is Result.SAT
+        assert solver.last_model is None
+
+
+class TestCacheMissAccounting:
+    """A cache entry bypassed only because ``need_model`` was requested is
+    not a miss; it must land in ``cache_hits_unused``."""
+
+    def test_shared_entry_rejected_for_model_is_not_a_miss(self):
+        cache = QueryCache()
+        a = t.bv_var("acc", 8)
+        goal = t.ult(a, t.bv_const(10, 8))
+        assert Solver(cache=cache).check_sat(goal) is Result.SAT
+        solver = Solver(cache=cache)
+        assert solver.check_sat(goal, need_model=True) is Result.SAT
+        assert solver.last_model is not None
+        assert solver.stats.cache_misses == 0
+        assert solver.stats.cache_hits_unused == 1
+
+    def test_memo_fallthrough_for_model_is_not_a_miss(self):
+        cache = QueryCache()
+        solver = Solver(cache=cache)
+        a = t.bv_var("acc2", 8)
+        goal = t.ult(a, t.bv_const(10, 8))
+        assert solver.check_sat(goal) is Result.SAT
+        misses_before = solver.stats.cache_misses
+        assert solver.check_sat(goal, need_model=True) is Result.SAT
+        assert solver.stats.cache_misses == misses_before
+        assert solver.stats.cache_hits_unused == 1
+
+    def test_true_miss_still_counted(self):
+        cache = QueryCache()
+        solver = Solver(cache=cache)
+        a = t.bv_var("acc3", 8)
+        assert solver.check_sat(t.ult(a, t.bv_const(10, 8))) is Result.SAT
+        assert solver.stats.cache_misses == 1
+        assert solver.stats.cache_hits_unused == 0
+
+    def test_merge_carries_hits_unused(self):
+        left = solver_mod.QueryStats(cache_hits_unused=2)
+        right = solver_mod.QueryStats(cache_hits_unused=3)
+        left.merge(right)
+        assert left.cache_hits_unused == 5
+
+
+class TestRandomWitnessRecovery:
+    """_random_witness must try the next seed after an EvalError, not give
+    up on all remaining assignments."""
+
+    def test_later_seed_tried_after_eval_error(self, monkeypatch):
+        goal = t.eq(t.bv_var("rw", 8), t.bv_const(1, 8))
+
+        from repro.smt import eval as eval_mod
+
+        original = eval_mod.evaluate
+        calls = []
+
+        def flaky_evaluate(term, env, select_handler=None):
+            calls.append(dict(env))
+            if len(calls) == 1:
+                # Simulate an assignment whose evaluation path fails.
+                raise EvalError("injected failure on the first assignment")
+            return original(term, env, select_handler)
+
+        monkeypatch.setattr(eval_mod, "evaluate", flaky_evaluate)
+        # Seed 1 assigns 1 to every bitvector variable, satisfying rw == 1;
+        # before the fix the injected seed-0 failure aborted the search.
+        assert solver_mod._random_witness(goal) is True
+        assert len(calls) >= 2
+
+    def test_all_seeds_failing_is_still_false(self, monkeypatch):
+        from repro.smt import eval as eval_mod
+
+        def always_fails(term, env, select_handler=None):
+            raise EvalError("injected")
+
+        monkeypatch.setattr(eval_mod, "evaluate", always_fails)
+        goal = t.eq(t.bv_var("rw2", 8), t.bv_const(1, 8))
+        assert solver_mod._random_witness(goal) is False
+
+
+class TestStoreRefreshesRecency:
+    """QueryCache.store must refresh LRU recency even when an
+    equal-or-better entry already exists."""
+
+    def test_restore_protects_hot_entry_from_eviction(self):
+        cache = QueryCache(max_entries=2)
+        hot = t.eq(t.bv_var("h", 8), t.bv_const(1, 8))
+        cold = t.eq(t.bv_var("c", 8), t.bv_const(2, 8))
+        new = t.eq(t.bv_var("n", 8), t.bv_const(3, 8))
+        cache.store(hot, Result.SAT, 5)
+        cache.store(cold, Result.SAT, 5)
+        # Re-store `hot` at the same cost: entry kept, recency refreshed.
+        cache.store(hot, Result.SAT, 5)
+        cache.store(new, Result.SAT, 5)  # evicts the LRU entry
+        assert cache.lookup(hot, None) is Result.SAT  # survived (was hot)
+        assert cache.lookup(cold, None) is None  # evicted
+
+    def test_restore_does_not_clobber_cheaper_cost(self):
+        cache = QueryCache()
+        goal = t.eq(t.bv_var("k", 8), t.bv_const(1, 8))
+        cache.store(goal, Result.SAT, 2)
+        cache.store(goal, Result.SAT, 900)
+        assert cache.lookup(goal, 2) is Result.SAT
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])
