@@ -22,6 +22,7 @@ from repro.fuzz.oracles import (
     check_brute_force,
     check_cache_consistency,
     check_implication_forms,
+    check_incremental_vs_fresh,
     check_model_soundness,
     check_simplify_eval,
 )
@@ -169,7 +170,15 @@ def run_fuzz(
         ran("positive-vs-negative-form")
         record(check_implication_forms(antecedent, conditions), iteration)
 
-        # 5. cache outcome-identity over the recent query batch.
+        # 5. incremental sessions vs fresh solving on a shared-prefix set:
+        #    the iteration's formula is the session prefix, two generated
+        #    conditions are the per-check deltas.
+        ran("incremental-vs-fresh")
+        record(
+            check_incremental_vs_fresh(formula, conditions), iteration
+        )
+
+        # 6. cache outcome-identity over the recent query batch.
         pending_cache_batch.append(formula)
         pending_cache_batch.append(small)
         if (iteration + 1) % CACHE_CHECK_EVERY == 0:

@@ -16,7 +16,10 @@ on mutated witnesses.  The layers cross-checked:
   partitions;
 - cached re-runs against uncached runs — the PR 1 soundness contract
   (outcome identity, including under *smaller* replay budgets), machine-
-  checked.
+  checked;
+- incremental sessions (:meth:`repro.smt.solver.Solver.session`) against
+  fresh per-query solving on goal sets sharing a common prefix — same
+  SAT/UNSAT verdicts, and session models must satisfy the combined goal.
 
 Oracles never raise on stack bugs — they return violations — but they are
 allowed to raise on harness bugs (e.g. mis-sorted generated terms), which
@@ -202,16 +205,9 @@ def _select_nodes(term: Term) -> list[Term]:
     return out
 
 
-def _model_disagreement(formula: Term) -> str | None:
-    if formula.sort is not BOOL:
-        return None
-    solver = Solver(conflict_budget=ORACLE_BUDGET)
-    outcome = solver.check_sat(formula, need_model=True)
-    if outcome is not Result.SAT:
-        return None
-    model = solver.last_model
-    if model is None:
-        return "SAT with need_model=True but last_model is None"
+def _model_violation(formula: Term, model) -> str | None:
+    """Replay a model through the reference interpreter; None if it
+    satisfies ``formula``."""
     env: dict[str, int | bool] = {}
     for var in t.free_vars(formula):
         if var.sort is BOOL:
@@ -241,6 +237,19 @@ def _model_disagreement(formula: Term) -> str | None:
     if holds is not True:
         return f"model {env} (selects {select_values}) does not satisfy formula"
     return None
+
+
+def _model_disagreement(formula: Term) -> str | None:
+    if formula.sort is not BOOL:
+        return None
+    solver = Solver(conflict_budget=ORACLE_BUDGET)
+    outcome = solver.check_sat(formula, need_model=True)
+    if outcome is not Result.SAT:
+        return None
+    model = solver.last_model
+    if model is None:
+        return "SAT with need_model=True but last_model is None"
+    return _model_violation(formula, model)
 
 
 def check_model_soundness(formula: Term) -> Violation | None:
@@ -380,4 +389,70 @@ def check_cache_consistency(formulas: Sequence[Term]) -> Violation | None:
         detail=detail,
         witnesses=witnesses,
         predicate=lambda ws: _cache_disagreement(ws) is not None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Oracle 6: incremental sessions agree with fresh solving
+# ---------------------------------------------------------------------------
+
+
+def _incremental_disagreement(witnesses: tuple[Term, ...]) -> str | None:
+    """Session-based checks vs fresh per-query solving on a shared prefix.
+
+    The first witness is the shared prefix; the rest are per-check deltas.
+    Every delta is decided twice — through one live session carrying the
+    prefix as its assumption set, and by a fresh solver on the plain
+    conjunction — and the verdicts must agree.  SAT verdicts are further
+    confirmed by replaying the session's model through the reference
+    interpreter (learned-clause leakage between checks would surface here
+    as either a flipped verdict or an unsatisfying model).
+    """
+    prefix, *deltas = witnesses
+    session_solver = Solver(conflict_budget=ORACLE_BUDGET)
+    with session_solver.session([prefix]) as session:
+        for index, delta in enumerate(deltas):
+            fresh = Solver(conflict_budget=ORACLE_BUDGET).check_sat(
+                t.and_(prefix, delta)
+            )
+            incremental = session.check(delta)
+            if Result.UNKNOWN in (fresh, incremental):
+                continue  # budget exhaustion is not a soundness defect
+            if fresh is not incremental:
+                return (
+                    f"delta {index}: fresh solver {fresh.value}, session "
+                    f"{incremental.value} (delta = {to_str(delta)})"
+                )
+            if incremental is Result.SAT:
+                confirm = session.check(delta, need_model=True)
+                if confirm is not Result.SAT:
+                    return (
+                        f"delta {index}: session flipped to {confirm.value} "
+                        f"when a model was requested"
+                    )
+                model = session_solver.last_model
+                if model is None:
+                    return (
+                        f"delta {index}: session SAT with need_model=True "
+                        f"but last_model is None"
+                    )
+                detail = _model_violation(t.and_(prefix, delta), model)
+                if detail is not None:
+                    return f"delta {index}: session {detail}"
+    return None
+
+
+def check_incremental_vs_fresh(
+    prefix: Term, deltas: Sequence[Term]
+) -> Violation | None:
+    """Incremental sessions must be outcome- and model-sound vs fresh runs."""
+    witnesses = (prefix, *deltas)
+    detail = _incremental_disagreement(witnesses)
+    if detail is None:
+        return None
+    return Violation(
+        oracle="incremental-vs-fresh",
+        detail=detail,
+        witnesses=witnesses,
+        predicate=lambda ws: _incremental_disagreement(ws) is not None,
     )

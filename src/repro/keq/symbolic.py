@@ -57,6 +57,10 @@ class KeqOptions:
     max_pair_checks: int = 2500  # successor-pair budget per check()
     mode: str = "bisimulation"  # or "simulation" (refinement)
     use_positive_form: bool = True  # the paper's SMT query optimization
+    #: route all obligations of one sync point through a single incremental
+    #: solver session: the point's instantiated prefix bit-blasts once and
+    #: learned clauses carry across the per-successor queries.
+    incremental_solving: bool = True
     solver_conflict_budget: int = 100_000
     record_proof: bool = False  # build a machine-checkable witness
     #: wall-clock budget per function — the paper's actual mechanism (a
@@ -100,6 +104,9 @@ class Keq:
         self.last_proof: EquivalenceProof | None = None
         self._proof: EquivalenceProof | None = None
         self._obligation_context: tuple[str, str] = ("?", "?")
+        #: the incremental session for the sync point currently being
+        #: checked (None outside _check_point or when disabled).
+        self._session = None
 
     # ------------------------------------------------------------------ driver --
 
@@ -330,6 +337,40 @@ class Keq:
         stats: KeqStats,
         failures: list[CheckFailure],
     ) -> bool:
+        # One incremental session per sync point: every feasibility,
+        # path-condition, constraint, and memory obligation below shares the
+        # point's instantiated symbols, so the session's encoding cache and
+        # learned clauses amortize across the whole successor-pair loop.
+        self._session = (
+            self.solver.session() if self.options.incremental_solving else None
+        )
+        try:
+            return self._check_point_obligations(
+                point, points, left_cuts, right_cuts, stats, failures
+            )
+        finally:
+            self._session = None
+
+    def _check_sat_conditional(self, delta: Term, assumptions=()) -> Result:
+        """SAT(assumptions ∧ delta) via the active session, if any.
+
+        The fallback issues the plain conjunction through ``check_sat``, so
+        with ``incremental_solving`` disabled every query is byte-identical
+        to the pre-session behaviour.
+        """
+        if self._session is not None:
+            return self._session.check(delta, assumptions=assumptions)
+        return self.solver.check_sat(t.conj([*assumptions, delta]))
+
+    def _check_point_obligations(
+        self,
+        point: SyncPoint,
+        points: list[SyncPoint],
+        left_cuts: set,
+        right_cuts: set,
+        stats: KeqStats,
+        failures: list[CheckFailure],
+    ) -> bool:
         left_state, right_state = self.instantiate(point)
         lefts = self.next_states(self.left, left_state, left_cuts)
         rights = self.next_states(self.right, right_state, right_cuts)
@@ -403,7 +444,7 @@ class Keq:
         return ok
 
     def _infeasible(self, state: ProgramState) -> bool:
-        outcome = self.solver.check_sat(state.path_condition)
+        outcome = self._check_sat_conditional(state.path_condition)
         if outcome is Result.UNKNOWN:
             raise _SolverBudgetExceeded()
         infeasible = outcome is Result.UNSAT
@@ -483,7 +524,7 @@ class Keq:
             )
             self._obligation_context = (source.name, target.name)
             outcome = self._prove(
-                t.implies(assumption, goal), "constraint", str(constraint)
+                assumption, goal, "constraint", str(constraint)
             )
             if outcome is not True:
                 return (
@@ -503,7 +544,7 @@ class Keq:
                 ))
             )
             self._obligation_context = (source.name, target.name)
-            outcome = self._prove(t.implies(assumption, equal), "memory")
+            outcome = self._prove(assumption, equal, "memory")
             if outcome is not True:
                 return (
                     False,
@@ -578,9 +619,11 @@ class Keq:
             psi = t.disj(
                 s.path_condition for s in siblings if s is not target_state
             )
-            outcome = self.solver.check_sat(t.and_(antecedent, psi))
+            outcome = self._check_sat_conditional(psi, assumptions=[antecedent])
         else:
-            outcome = self.solver.check_sat(t.and_(antecedent, t.not_(consequent)))
+            outcome = self._check_sat_conditional(
+                t.not_(consequent), assumptions=[antecedent]
+            )
         if outcome is Result.UNKNOWN:
             raise _SolverBudgetExceeded()
         proven = outcome is Result.UNSAT
@@ -596,8 +639,22 @@ class Keq:
             )
         return proven
 
-    def _prove(self, goal: Term, kind: str = "constraint", detail: str = "") -> bool:
-        outcome = self.solver.is_valid(goal)
+    def _prove(
+        self,
+        assumption: Term,
+        goal: Term,
+        kind: str = "constraint",
+        detail: str = "",
+    ) -> bool:
+        """Prove ``assumption ⇒ goal`` via UNSAT(assumption ∧ ¬goal).
+
+        The assumption (the pair's ``pc1 ∧ pc2``) rides as a session
+        assumption so consecutive constraint/memory obligations of one
+        matched pair re-solve only their delta.
+        """
+        outcome = self._check_sat_conditional(
+            t.not_(goal), assumptions=[assumption]
+        )
         if outcome is Result.UNKNOWN:
             raise _SolverBudgetExceeded()
         proven = outcome is Result.UNSAT
@@ -608,7 +665,7 @@ class Keq:
                     kind=kind,
                     source_point=source,
                     target_point=target,
-                    claim_unsat=t.not_(goal),
+                    claim_unsat=t.and_(assumption, t.not_(goal)),
                     description=detail,
                 )
             )

@@ -2,7 +2,11 @@
 
 A :class:`BitBlaster` owns a :class:`~repro.smt.sat.SatSolver` and encodes
 terms on demand, caching the encoding per term node so shared subterms (the
-term layer is hash-consed) are encoded exactly once.
+term layer is hash-consed) are encoded exactly once.  The cache also makes
+the blaster *reusable across goals*: a solver session that checks many
+obligations sharing a conjunct prefix bit-blasts the prefix once, and each
+later goal only encodes its delta (``encode_hits``/``encode_misses`` count
+the sharing).
 
 Bitvectors become little-endian lists of SAT literals (``bits[0]`` is the
 least significant bit).  Constant bits are represented as the literal of a
@@ -28,6 +32,8 @@ class BitBlaster:
         self._bv_cache: dict[Term, Bits] = {}
         self._var_bits: dict[str, Bits] = {}
         self._bool_vars: dict[str, int] = {}
+        self.encode_hits = 0
+        self.encode_misses = 0
 
     # -- small gate helpers ---------------------------------------------------
 
@@ -195,7 +201,9 @@ class BitBlaster:
             raise TypeError(f"expected boolean term, got {term!r}")
         cached = self._bool_cache.get(term)
         if cached is not None:
+            self.encode_hits += 1
             return cached
+        self.encode_misses += 1
         lit = self._encode_bool_uncached(term)
         self._bool_cache[term] = lit
         return lit
@@ -241,7 +249,9 @@ class BitBlaster:
         """Encode a bitvector term; returns its little-endian literal list."""
         cached = self._bv_cache.get(term)
         if cached is not None:
+            self.encode_hits += 1
             return cached
+        self.encode_misses += 1
         bits = self._encode_bv_uncached(term)
         if len(bits) != term.width:
             raise AssertionError(

@@ -30,6 +30,17 @@ one recorded under a larger budget must not satisfy a lookup that —
 uncached — would have returned ``UNKNOWN`` (and hence a deterministic
 TIMEOUT outcome in the campaign).  This keeps cached and uncached runs
 *outcome-identical*, not merely logically consistent.
+
+Entries produced by *incremental sessions* (:class:`SolverSession`) are
+keyed on the simplified combined goal — assumptions ∧ delta — exactly the
+key a fresh ``check_sat`` of the same conjunction would use, so the two
+paths share one namespace and can never cache contradictory results.  One
+caveat: a session's recorded cost counts only the conflicts of the
+deciding check, which may undershoot a from-scratch solve because the
+session inherited learned clauses from earlier checks.  Results remain
+sound and budget-monotone (a lookup under a *larger* budget than the
+recorded cost is always safe); only the exact UNKNOWN boundary of a
+cache-cold rerun is guaranteed for fresh-path entries alone.
 """
 
 from __future__ import annotations

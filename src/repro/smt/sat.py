@@ -11,6 +11,15 @@ This is the decision procedure at the bottom of the reproduction's SMT stack
 - Luby-sequence restarts;
 - solving under assumptions (used by the solver façade to implement
   ``prove`` queries without re-encoding shared structure);
+- *incremental* use à la MiniSat: clauses may be added between
+  :meth:`SatSolver.solve` calls, and learned clauses, VSIDS activity, and
+  watch lists all stay valid across calls — assumptions are enqueued as
+  pseudo-decisions at successive levels, so everything a call learns is
+  implied by the clause database alone and is safe to keep when a later
+  call drops an assumption;
+- final-conflict analysis: an UNSAT answer under assumptions leaves an
+  *unsat core* (the subset of assumptions the refutation used) in
+  :attr:`SatSolver.core`;
 - a conflict budget so callers can emulate the paper's per-function
   timeouts deterministically.
 
@@ -61,6 +70,7 @@ class Stats:
     learned: int = 0
     restarts: int = 0
     max_vars: int = 0
+    solve_calls: int = 0
 
 
 @dataclass
@@ -90,6 +100,14 @@ class SatSolver:
         self._heap: list[tuple[float, int]] = []
         self._polarity: list[bool] = [False]
         self._ok = True
+        #: unit clauses received while the trail was not at the root level
+        #: (e.g. a caller encoding a new goal right after a SAT answer);
+        #: flushed at the next root visit so no constraint is ever lost.
+        self._pending_units: list[int] = []
+        #: after an UNSAT answer: the subset of the call's assumptions the
+        #: refutation actually used (empty when the clause set itself is
+        #: unsatisfiable).  None after SAT/UNKNOWN.
+        self.core: list[int] | None = None
         self.stats = Stats()
 
     # -- problem construction ------------------------------------------------
@@ -110,7 +128,13 @@ class SatSolver:
             self.new_var()
 
     def add_clause(self, literals: list[int]) -> None:
-        """Add a clause; duplicate literals are removed, tautologies dropped."""
+        """Add a clause; duplicate literals are removed, tautologies dropped.
+
+        Safe to call between :meth:`solve` calls (incremental use): clauses
+        are simplified against *root-level* assignments only, and a unit
+        clause arriving while the trail is deep is parked in
+        ``_pending_units`` rather than mis-assigned at the current level.
+        """
         if not self._ok:
             return
         seen: set[int] = set()
@@ -121,19 +145,43 @@ class SatSolver:
                 continue
             if -lit in seen:
                 return  # tautology
+            value = self._value(lit)
+            if value != UNASSIGNED and self._level[abs(lit)] == 0:
+                if value == TRUE:
+                    return  # satisfied at the root forever
+                continue  # root-falsified literal: drop it
             seen.add(lit)
             unique.append(lit)
         if not unique:
             self._ok = False
             return
         if len(unique) == 1:
-            if not self._enqueue_root(unique[0]):
+            if self._trail_lim:
+                self._pending_units.append(unique[0])
+            elif not self._enqueue_root(unique[0]):
                 self._ok = False
             return
         clause = _Clause(unique)
         self._clauses.append(clause)
         self._watch(clause, unique[0])
         self._watch(clause, unique[1])
+
+    def reset_to_root(self) -> None:
+        """Backtrack to decision level 0 and flush pending unit clauses.
+
+        Incremental callers (the solver façade's sessions) invoke this
+        before encoding new structure so fresh clauses are simplified
+        against root-fixed literals only.
+        """
+        self._backtrack(0)
+        self._flush_pending_units()
+
+    def _flush_pending_units(self) -> None:
+        while self._pending_units:
+            lit = self._pending_units.pop()
+            if not self._enqueue_root(lit):
+                self._ok = False
+                return
 
     def _enqueue_root(self, lit: int) -> bool:
         """Assert a unit clause at decision level 0."""
@@ -268,6 +316,43 @@ class SatSolver:
         learned[1], learned[best] = learned[best], learned[1]
         return learned, self._level[abs(learned[1])]
 
+    def _analyze_final(self, conflict: _Clause, assumed: set[int]) -> list[int]:
+        """Final-conflict analysis (MiniSat's ``analyzeFinal``).
+
+        Resolves a conflict inside the assumption prefix back to the
+        assumptions it depends on.  Reason-less literals that are *not*
+        assumptions are root-implied learned units parked at an assumption
+        level — implied by the clause database alone, hence not in the core.
+        """
+        seeds = [abs(lit) for lit in conflict.literals if self._level[abs(lit)] > 0]
+        return self._trace_core(seeds, assumed)
+
+    def _analyze_final_lit(self, lit: int, assumed: set[int]) -> list[int]:
+        """Core for an assumption whose negation is already on the trail."""
+        core = [lit] if lit in assumed else []
+        if self._level[abs(lit)] == 0:
+            return core
+        return core + self._trace_core([abs(lit)], assumed)
+
+    def _trace_core(self, seeds: list[int], assumed: set[int]) -> list[int]:
+        seen = set(seeds)
+        core: list[int] = []
+        for trail_lit in reversed(self._trail):
+            var = abs(trail_lit)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self._reason[var]
+            if reason is None:
+                if trail_lit in assumed:
+                    core.append(trail_lit)
+                continue
+            for other in reason.literals:
+                if other != trail_lit and self._level[abs(other)] > 0:
+                    seen.add(abs(other))
+        core.reverse()  # assumption order, for deterministic reporting
+        return core
+
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
             return
@@ -309,15 +394,28 @@ class SatSolver:
 
         ``conflict_budget`` bounds the number of conflicts before giving up
         with :data:`SatResult.UNKNOWN` (deterministic timeout emulation).
+
+        On UNSAT, :attr:`core` holds the subset of ``assumptions`` the
+        refutation used (empty when the clause set alone is unsatisfiable);
+        on SAT/UNKNOWN it is None.
         """
+        self.stats.solve_calls += 1
+        self.core = None
+        assumptions = assumptions or []
+        assumed = set(assumptions)
         if not self._ok:
+            self.core = []
             return SatResult.UNSAT
         self._backtrack(0)
+        self._flush_pending_units()
+        if not self._ok:
+            self.core = []
+            return SatResult.UNSAT
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
+            self.core = []
             return SatResult.UNSAT
-        assumptions = assumptions or []
         budget_left = conflict_budget
         restart_index = 0
         restart_limit = 32 * luby(restart_index)
@@ -333,17 +431,33 @@ class SatSolver:
                         self._backtrack(0)
                         return SatResult.UNKNOWN
                 if len(self._trail_lim) == 0:
+                    self.core = []
                     return SatResult.UNSAT
                 if len(self._trail_lim) <= len(assumptions):
-                    # Conflict inside the assumption prefix.
+                    # Conflict inside the assumption prefix: the clause set
+                    # refutes a subset of the assumptions.
+                    self.core = self._analyze_final(conflict, assumed)
                     self._backtrack(0)
                     return SatResult.UNSAT
                 learned, backjump = self._analyze(conflict)
                 backjump = max(backjump, len(assumptions))
                 self._backtrack(backjump)
                 if len(learned) == 1:
-                    if not self._enqueue_root(learned[0]):
+                    # A unit learned clause is implied by the clause database
+                    # alone (assumption literals would have survived the
+                    # resolution).  When the trail is inside the assumption
+                    # prefix the unit is parked so it is re-asserted at the
+                    # next root visit and survives into later solve calls.
+                    lit = learned[0]
+                    if self._trail_lim:
+                        self._pending_units.append(lit)
+                    value = self._value(lit)
+                    if value == FALSE:
+                        self.core = self._analyze_final_lit(lit, assumed)
+                        self._backtrack(0)
                         return SatResult.UNSAT
+                    if value == UNASSIGNED:
+                        self._assign_lit(lit, None)
                 else:
                     clause = _Clause(learned, learned=True)
                     self._clauses.append(clause)
@@ -368,6 +482,10 @@ class SatSolver:
                 lit = assumptions[depth]
                 value = self._value(lit)
                 if value == FALSE:
+                    # An earlier assignment (root fact, or a consequence of
+                    # the assumptions already applied) falsifies this
+                    # assumption: its negation's derivation is the core.
+                    self.core = self._analyze_final_lit(lit, assumed)
                     self._backtrack(0)
                     return SatResult.UNSAT
                 self._trail_lim.append(len(self._trail))

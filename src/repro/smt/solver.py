@@ -53,8 +53,16 @@ class QueryStats:
     sat_calls: int = 0
     conflicts: int = 0
     decisions: int = 0
+    propagations: int = 0
     time_seconds: float = 0.0
     unknowns: int = 0
+    #: queries answered through a :class:`SolverSession` (incremental path)
+    incremental_checks: int = 0
+    #: learned clauses already in the session solver when a check started —
+    #: CDCL work inherited from earlier obligations of the same session
+    clauses_reused: int = 0
+    #: Tseitin encodings served from the session blaster's per-term cache
+    encode_cache_hits: int = 0
     cache_hits: int = 0  # answered by the shared QueryCache
     cache_misses: int = 0
     #: memo/cache entries that held the answer but could not serve the query
@@ -70,8 +78,12 @@ class QueryStats:
         self.sat_calls += other.sat_calls
         self.conflicts += other.conflicts
         self.decisions += other.decisions
+        self.propagations += other.propagations
         self.time_seconds += other.time_seconds
         self.unknowns += other.unknowns
+        self.incremental_checks += other.incremental_checks
+        self.clauses_reused += other.clauses_reused
+        self.encode_cache_hits += other.encode_cache_hits
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_hits_unused += other.cache_hits_unused
@@ -356,6 +368,47 @@ class Solver:
         self.stats.queries += 1
         self.last_model = None
         goal = simplify(goal)
+        fast = self._try_fast_paths(goal, need_model, started)
+        if fast is not None:
+            return fast
+        bare_goal = goal
+        goal = t.and_(goal, _ackermann_lemmas(goal), _comparison_lemmas(goal))
+        sat_solver = SatSolver()
+        blaster = BitBlaster(sat_solver)
+        blaster.assert_term(goal)
+        self.stats.sat_calls += 1
+        outcome = sat_solver.solve(conflict_budget=self.conflict_budget)
+        self.stats.conflicts += sat_solver.stats.conflicts
+        self.stats.decisions += sat_solver.stats.decisions
+        self.stats.propagations += sat_solver.stats.propagations
+        self.stats.per_query_conflicts.append(sat_solver.stats.conflicts)
+        self.stats.time_seconds += time.perf_counter() - started
+        # Minimal deciding budget: the CDCL loop gives up *at* the budget-th
+        # conflict, so a run that decided after c conflicts needs c + 1.
+        cost = sat_solver.stats.conflicts + 1
+        if outcome is SatResult.SAT:
+            self.last_model = Model(blaster)
+            self._memo[bare_goal] = Result.SAT
+            self._share(bare_goal, Result.SAT, cost)
+            return Result.SAT
+        if outcome is SatResult.UNSAT:
+            self._memo[bare_goal] = Result.UNSAT
+            self._share(bare_goal, Result.UNSAT, cost)
+            return Result.UNSAT
+        self.stats.unknowns += 1
+        return Result.UNKNOWN
+
+    def _try_fast_paths(
+        self, goal: Term, need_model: bool, started: float
+    ) -> Result | None:
+        """Answer an already-simplified goal without bit-blasting, or None.
+
+        Shared between :meth:`check_sat` and :meth:`SolverSession.check` so
+        the fresh and incremental paths stay mutually sound: both consult the
+        same memo/cache namespace (the simplified combined goal) and apply
+        the same witness/skeleton shortcuts.  Updates stats and timing for
+        every query it answers.
+        """
         if goal is t.TRUE:
             if need_model:
                 # The goal holds under every assignment; hand out an explicit
@@ -411,31 +464,7 @@ class Solver:
             self.stats.fast_path += 1
             self.stats.time_seconds += time.perf_counter() - started
             return Result.UNSAT
-        bare_goal = goal
-        goal = t.and_(goal, _ackermann_lemmas(goal), _comparison_lemmas(goal))
-        sat_solver = SatSolver()
-        blaster = BitBlaster(sat_solver)
-        blaster.assert_term(goal)
-        self.stats.sat_calls += 1
-        outcome = sat_solver.solve(conflict_budget=self.conflict_budget)
-        self.stats.conflicts += sat_solver.stats.conflicts
-        self.stats.decisions += sat_solver.stats.decisions
-        self.stats.per_query_conflicts.append(sat_solver.stats.conflicts)
-        self.stats.time_seconds += time.perf_counter() - started
-        # Minimal deciding budget: the CDCL loop gives up *at* the budget-th
-        # conflict, so a run that decided after c conflicts needs c + 1.
-        cost = sat_solver.stats.conflicts + 1
-        if outcome is SatResult.SAT:
-            self.last_model = Model(blaster)
-            self._memo[bare_goal] = Result.SAT
-            self._share(bare_goal, Result.SAT, cost)
-            return Result.SAT
-        if outcome is SatResult.UNSAT:
-            self._memo[bare_goal] = Result.UNSAT
-            self._share(bare_goal, Result.UNSAT, cost)
-            return Result.UNSAT
-        self.stats.unknowns += 1
-        return Result.UNKNOWN
+        return None
 
     def _share(self, goal: Term, result: Result, cost: int) -> None:
         if self.cache is not None:
@@ -473,3 +502,156 @@ class Solver:
     def prove_equiv(self, left: Term, right: Term) -> bool:
         """True iff two boolean formulas are logically equivalent."""
         return self.prove(t.iff(left, right))
+
+    # -- incremental sessions ----------------------------------------------------
+
+    def session(self, assumptions: Iterable[Term] = ()) -> "SolverSession":
+        """Open an incremental session sharing ``assumptions`` across checks.
+
+        All goals checked through the session are decided *under* the
+        assumption conjuncts; the SAT solver, Tseitin encodings, learned
+        clauses, and VSIDS activity persist across checks, so obligations
+        sharing a fat prefix (KEQ's per-sync-point queries) amortize both
+        the bit-blasting and the search.  Usable as a context manager.
+        """
+        return SolverSession(self, assumptions)
+
+
+class SolverSession:
+    """Assumption-based incremental checking against one shared SAT solver.
+
+    The session keeps one :class:`~repro.smt.sat.SatSolver` and one
+    :class:`~repro.smt.bitblast.BitBlaster` alive across :meth:`check`
+    calls.  Shared conjuncts (the session's base ``assumptions`` plus any
+    per-check ``assumptions``) are encoded once — their Tseitin gate
+    literals double as MiniSat-style *indicator literals* — and every check
+    solves under those literals as assumptions, so nothing checked here
+    ever poisons the clause database: learned clauses are implied by the
+    gate definitions and valid lemmas alone.
+
+    Soundness with the fresh path: each check first consults the same
+    memo/cache/witness/skeleton fast paths as :meth:`Solver.check_sat`,
+    keyed on the *simplified combined goal* (assumptions ∧ delta), and
+    decided results are stored back under that same key — the cached and
+    incremental paths answer from one namespace.
+
+    ``last_core`` holds, after an UNSAT check, the subset of assumption
+    *terms* the refutation used (session base + per-check), mapped back
+    from the SAT-level unsat core.
+    """
+
+    def __init__(self, solver: Solver, assumptions: Iterable[Term] = ()):
+        self.solver = solver
+        self._base: list[Term] = list(assumptions)
+        self._sat: SatSolver | None = None
+        self._blaster: BitBlaster | None = None
+        #: raw assumption term -> encoded indicator literal
+        self._assume_lits: dict[Term, int] = {}
+        #: valid lemma conjunctions already asserted permanently
+        self._lemmas_asserted: set[Term] = set()
+        self.last_core: list[Term] | None = None
+
+    def __enter__(self) -> "SolverSession":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def _ensure_blaster(self) -> BitBlaster:
+        if self._blaster is None:
+            self._sat = SatSolver()
+            self._blaster = BitBlaster(self._sat)
+        return self._blaster
+
+    def _assume_lit(self, term: Term) -> int:
+        lit = self._assume_lits.get(term)
+        if lit is None:
+            blaster = self._blaster
+            assert blaster is not None
+            simplified = simplify(term)
+            lit = blaster.encode_bool(simplified)
+            self._assume_lits[term] = lit
+        return lit
+
+    def check(
+        self,
+        delta: Term,
+        assumptions: Iterable[Term] = (),
+        need_model: bool = False,
+    ) -> Result:
+        """Decide SAT(base ∧ assumptions ∧ delta) incrementally.
+
+        Semantically identical to
+        ``solver.check_sat(t.conj([*base, *assumptions, delta]))`` — same
+        result, same cache keys — but reuses the session's SAT state.  On
+        SAT with ``need_model=True``, ``solver.last_model`` reads through
+        the session blaster (valid until the next check).
+        """
+        solver = self.solver
+        stats = solver.stats
+        started = time.perf_counter()
+        stats.queries += 1
+        stats.incremental_checks += 1
+        solver.last_model = None
+        self.last_core = None
+        extra = list(assumptions)
+        combined = simplify(t.conj([*self._base, *extra, delta]))
+        fast = solver._try_fast_paths(combined, need_model, started)
+        if fast is not None:
+            return fast
+        blaster = self._ensure_blaster()
+        sat_solver = self._sat
+        assert sat_solver is not None
+        sat_solver.reset_to_root()
+        # Theory lemmas for the combined goal are *valid*, so they may be
+        # asserted permanently — they can only help later checks.
+        lemmas = t.and_(
+            _ackermann_lemmas(combined), _comparison_lemmas(combined)
+        )
+        encode_hits_before = blaster.encode_hits
+        if lemmas is not t.TRUE and lemmas not in self._lemmas_asserted:
+            self._lemmas_asserted.add(lemmas)
+            blaster.assert_term(lemmas)
+        assume_lits = [
+            self._assume_lit(term) for term in (*self._base, *extra)
+        ]
+        delta_lit = self._assume_lit(delta)
+        stats.clauses_reused += sat_solver.stats.learned
+        stats.encode_cache_hits += blaster.encode_hits - encode_hits_before
+        conflicts_before = sat_solver.stats.conflicts
+        decisions_before = sat_solver.stats.decisions
+        propagations_before = sat_solver.stats.propagations
+        stats.sat_calls += 1
+        outcome = sat_solver.solve(
+            assumptions=assume_lits + [delta_lit],
+            conflict_budget=solver.conflict_budget,
+        )
+        conflicts_delta = sat_solver.stats.conflicts - conflicts_before
+        stats.conflicts += conflicts_delta
+        stats.decisions += sat_solver.stats.decisions - decisions_before
+        stats.propagations += (
+            sat_solver.stats.propagations - propagations_before
+        )
+        stats.per_query_conflicts.append(conflicts_delta)
+        stats.time_seconds += time.perf_counter() - started
+        # The deciding run leaned on clauses learned by earlier checks, so
+        # this cost can undershoot what a fresh solver would need; results
+        # stay sound and budget-monotone (see cache.py for the policy).
+        cost = conflicts_delta + 1
+        if outcome is SatResult.SAT:
+            solver.last_model = Model(blaster)
+            solver._memo[combined] = Result.SAT
+            solver._share(combined, Result.SAT, cost)
+            return Result.SAT
+        if outcome is SatResult.UNSAT:
+            core_lits = set(sat_solver.core or ())
+            self.last_core = [
+                term
+                for term in dict.fromkeys([*self._base, *extra, delta])
+                if self._assume_lits.get(term) in core_lits
+            ]
+            solver._memo[combined] = Result.UNSAT
+            solver._share(combined, Result.UNSAT, cost)
+            return Result.UNSAT
+        stats.unknowns += 1
+        return Result.UNKNOWN

@@ -19,6 +19,11 @@ class BatchResult:
     excluded: int = 0
     #: solver counters merged across every validated function.
     solver_stats: QueryStats = field(default_factory=QueryStats)
+    #: cross-function dedup stats (see :mod:`repro.tv.dedup`): number of
+    #: alpha-equivalence classes among fingerprintable functions, and how
+    #: many outcomes were replayed instead of validated.
+    dedup_classes: int = 0
+    deduped_functions: int = 0
 
     @property
     def supported(self) -> list[TvOutcome]:
@@ -89,6 +94,11 @@ class BatchResult:
                 f" cache_misses={stats.cache_misses}"
                 f" hit-rate={rate:.1f}%"
             )
+        if self.deduped_functions:
+            lines.append(
+                f"dedup: {self.dedup_classes} classes,"
+                f" {self.deduped_functions} outcomes replayed"
+            )
         return "\n".join(lines)
 
 
@@ -142,19 +152,62 @@ def run_corpus(
     options: TvOptions | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    dedup: bool = True,
 ) -> BatchResult:
     """Validate a generated corpus (see :mod:`repro.workloads.corpus`).
 
     ``jobs > 1`` fans the functions out over worker processes via
-    :func:`repro.tv.parallel.run_batch_parallel`.
+    :func:`repro.tv.parallel.run_batch_parallel`.  With ``dedup`` (the
+    default), alpha-equivalent functions (see :mod:`repro.tv.dedup`) are
+    validated once per equivalence class and the outcome is replayed for
+    the rest with a ``deduped`` marker.
     """
     module = corpus.build_module()
     base = options or TvOptions.for_campaign()
     overrides = corpus_overrides(corpus, base)
+    names = list(module.functions)
+    plan = None
+    if dedup:
+        from repro.tv.dedup import plan_dedup
+
+        plan = plan_dedup(module, names, base, overrides)
+        run_names = plan.run_names
+    else:
+        run_names = names
     if jobs > 1:
         from repro.tv.parallel import run_batch_parallel
 
-        return run_batch_parallel(
-            module, base, jobs=jobs, overrides=overrides, cache_dir=cache_dir
+        result = run_batch_parallel(
+            module,
+            base,
+            jobs=jobs,
+            function_names=run_names,
+            overrides=overrides,
+            cache_dir=cache_dir,
         )
-    return run_batch(module, base, overrides=overrides, cache_dir=cache_dir)
+    else:
+        result = run_batch(
+            module,
+            base,
+            function_names=run_names,
+            overrides=overrides,
+            cache_dir=cache_dir,
+        )
+    if plan is not None and plan.replay:
+        by_name = {outcome.function: outcome for outcome in result.outcomes}
+        for duplicate, representative in plan.replay.items():
+            source = by_name[representative]
+            by_name[duplicate] = dataclasses.replace(
+                source,
+                function=duplicate,
+                seconds=0.0,
+                solver_stats=None,  # no solver work: don't double-count
+                deduped=True,
+                dedup_of=representative,
+            )
+        result.outcomes = [by_name[name] for name in names]
+        result.merge_stats()
+    if plan is not None:
+        result.dedup_classes = plan.classes
+        result.deduped_functions = plan.deduped
+    return result

@@ -1,0 +1,144 @@
+"""Cross-function synchronization-point dedup (ROADMAP item 2, scoped).
+
+A generated campaign corpus contains many functions that are identical up
+to naming: same instruction shapes, same control flow, same sync-point
+specification modulo SSA value / virtual-register names.  Validating each
+of them re-proves exactly the same obligations.  This module computes an
+*alpha-renaming canonical fingerprint* per function so
+:func:`repro.tv.batch.run_corpus` can validate one representative per
+equivalence class and replay its outcome for the rest.
+
+The fingerprint covers everything the validation outcome depends on:
+
+- the LLVM function text,
+- the selected machine function text,
+- the generated sync-point specification,
+- the effective :class:`~repro.tv.driver.TvOptions` (two functions with
+  different budgets or liveness variants never share a class),
+
+with SSA values and virtual registers (``%``-prefixed tokens) renamed in
+first-occurrence (traversal) order and the function's own name canonicalised
+away.  Equal fingerprints therefore mean the two validation problems are
+alpha-equivalent — same KEQ obligations modulo variable names — not merely
+that the spec *shapes* coincide (shape alone cannot distinguish ``add``
+from ``sub``).
+
+Functions that cannot be fingerprinted are validated individually:
+
+- ISel/VCGen rejects the function (the outcome is cheap anyway);
+- the function makes calls — its outcome also depends on callee bodies,
+  which the fingerprint does not cover.
+
+Caveat: deterministic *witness search* keys on variable names, so two
+alpha-equivalent functions can in principle spend different conflict
+counts before reaching the same SAT/UNSAT answer; a replayed outcome is
+guaranteed identical except exactly at a solver-budget boundary.  Corpus
+generators name values deterministically from the function shape, so
+within one corpus the renaming is a no-op and replay is exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+
+from repro.isel import IselError, select_function
+from repro.llvm import ir
+from repro.tv.driver import TvOptions
+from repro.vcgen import VcGenError, generate_sync_points
+
+#: SSA values and virtual registers in the printed artifacts.
+_VALUE_TOKEN = re.compile(r"%[A-Za-z0-9_.]+")
+_CALL_TOKEN = re.compile(r"\bcall\b")
+
+
+def alpha_rename(text: str) -> str:
+    """Rename every ``%``-token to ``%rN`` in first-occurrence order."""
+    mapping: dict[str, str] = {}
+
+    def rename(match: re.Match) -> str:
+        token = match.group(0)
+        renamed = mapping.get(token)
+        if renamed is None:
+            renamed = mapping[token] = f"%r{len(mapping)}"
+        return renamed
+
+    return _VALUE_TOKEN.sub(rename, text)
+
+
+def spec_fingerprint(
+    module: ir.Module, function_name: str, options: TvOptions
+) -> str | None:
+    """Canonical fingerprint of one function's validation problem.
+
+    Returns ``None`` when the function cannot be soundly deduped (ISel or
+    VCGen failure, or the function makes calls).
+    """
+    function = module.function(function_name)
+    try:
+        machine, hints = select_function(module, function, options.isel)
+        points = generate_sync_points(
+            module,
+            function,
+            machine,
+            hints,
+            imprecise_liveness=options.imprecise_liveness,
+        )
+    except (IselError, VcGenError):
+        return None
+    llvm_text = str(function)
+    machine_text = str(machine)
+    if _CALL_TOKEN.search(llvm_text) or _CALL_TOKEN.search(machine_text):
+        return None
+    spec_text = "\n".join(repr(point) for point in points)
+    raw = "\n§\n".join(
+        (llvm_text, machine_text, spec_text, repr(options))
+    ).replace(function_name, "§fn§")
+    return hashlib.sha256(alpha_rename(raw).encode()).hexdigest()
+
+
+@dataclass
+class DedupPlan:
+    """Which functions to validate and which outcomes to replay."""
+
+    #: functions to validate (class representatives + unfingerprintables),
+    #: in original corpus order.
+    run_names: list[str] = field(default_factory=list)
+    #: duplicate function -> its class representative.
+    replay: dict[str, str] = field(default_factory=dict)
+    #: fingerprinted equivalence classes (including singletons).
+    classes: int = 0
+
+    @property
+    def deduped(self) -> int:
+        return len(self.replay)
+
+
+def plan_dedup(
+    module: ir.Module,
+    names: list[str],
+    base: TvOptions,
+    overrides: dict[str, TvOptions] | None = None,
+) -> DedupPlan:
+    """Group ``names`` into alpha-equivalence classes.
+
+    The first member of each class (in corpus order) is its representative;
+    later members are replayed from its outcome.
+    """
+    overrides = overrides or {}
+    plan = DedupPlan()
+    representative_by_print: dict[str, str] = {}
+    for name in names:
+        fingerprint = spec_fingerprint(module, name, overrides.get(name, base))
+        if fingerprint is None:
+            plan.run_names.append(name)
+            continue
+        representative = representative_by_print.get(fingerprint)
+        if representative is None:
+            representative_by_print[fingerprint] = name
+            plan.classes += 1
+            plan.run_names.append(name)
+        else:
+            plan.replay[name] = representative
+    return plan

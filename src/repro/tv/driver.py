@@ -76,15 +76,20 @@ class TvOutcome:
     sync_points: int = 0
     #: per-function solver counters (merged batch-wide by BatchResult).
     solver_stats: QueryStats | None = None
+    #: outcome replayed from an alpha-equivalent representative instead of
+    #: being validated (see :mod:`repro.tv.dedup`); ``dedup_of`` names it.
+    deduped: bool = False
+    dedup_of: str = ""
 
     @property
     def ok(self) -> bool:
         return self.category == Category.SUCCEEDED
 
     def __str__(self) -> str:
-        return f"@{self.function}: {self.category}" + (
-            f" ({self.detail})" if self.detail else ""
-        )
+        suffix = f" ({self.detail})" if self.detail else ""
+        if self.deduped:
+            suffix += f" [deduped: {self.dedup_of}]"
+        return f"@{self.function}: {self.category}" + suffix
 
 
 def _code_size(function: ir.Function) -> int:

@@ -11,6 +11,7 @@ from repro.fuzz.oracles import (
     check_brute_force,
     check_cache_consistency,
     check_implication_forms,
+    check_incremental_vs_fresh,
     check_model_soundness,
     check_simplify_eval,
     first_true_partition,
@@ -57,6 +58,13 @@ class TestStockStackPasses:
         generator = TermGenerator(105, GenConfig(max_depth=4))
         batch = [generator.formula() for _ in range(4)]
         assert check_cache_consistency(batch) is None
+
+    def test_incremental_vs_fresh_clean(self):
+        generator = TermGenerator(106, GenConfig(max_depth=4))
+        for _ in range(10):
+            prefix = generator.formula()
+            deltas = [generator.bool_term(2) for _ in range(2)]
+            assert check_incremental_vs_fresh(prefix, deltas) is None
 
 
 class TestBruteForceReference:
@@ -135,6 +143,40 @@ class TestOraclesCatchInjectedBugs:
         violation = check_cache_consistency(batch)
         assert violation is not None
         assert violation.oracle == "cache-consistency"
+
+    def test_lying_session_is_detected(self, monkeypatch):
+        from repro.smt.solver import Solver
+
+        class LyingSessionSolver(Solver):
+            """Sessions flip UNSAT deltas to SAT; fresh solving is honest."""
+
+            def session(self, assumptions=()):
+                real = super().session(assumptions)
+
+                class LyingSession:
+                    def __enter__(self):
+                        real.__enter__()
+                        return self
+
+                    def __exit__(self, *exc):
+                        return real.__exit__(*exc)
+
+                    def check(self, delta, assumptions=(), need_model=False):
+                        verdict = real.check(delta, assumptions, need_model)
+                        if verdict is Result.UNSAT:
+                            return Result.SAT
+                        return verdict
+
+                return LyingSession()
+
+        monkeypatch.setattr(oracles, "Solver", LyingSessionSolver)
+        x = t.bv_var("x", 8)
+        prefix = t.eq(x, t.bv_const(3, 8))
+        deltas = [t.eq(x, t.bv_const(5, 8))]  # UNSAT under the prefix
+        violation = check_incremental_vs_fresh(prefix, deltas)
+        assert violation is not None
+        assert violation.oracle == "incremental-vs-fresh"
+        assert violation.predicate(violation.witnesses)
 
 
 class TestModelSoundnessWithRewrittenSelects:

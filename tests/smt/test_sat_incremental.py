@@ -1,0 +1,172 @@
+"""Incremental SAT regression tests: assumptions, unsat cores, and the
+classic learned-clause-contamination bug.
+
+The MiniSat contract under test: assumptions are pseudo-decisions, so
+every clause a call learns is implied by the clause database *alone* —
+keeping learned clauses (including root-implied units parked while the
+trail sat inside the assumption prefix) must never change the answer of a
+later call that drops or flips an assumption.
+"""
+
+from repro.smt.sat import SatResult, SatSolver
+
+
+def fresh_vars(solver, count):
+    return [solver.new_var() for _ in range(count)]
+
+
+class TestAssumptions:
+    def test_sat_under_assumptions(self):
+        solver = SatSolver()
+        a, b = fresh_vars(solver, 2)
+        solver.add_clause([a, b])
+        assert solver.solve(assumptions=[-a]) is SatResult.SAT
+        assert solver.model_value(b) is True
+        assert solver.core is None
+
+    def test_unsat_under_assumptions_sat_without(self):
+        solver = SatSolver()
+        a, b = fresh_vars(solver, 2)
+        solver.add_clause([-a, b])
+        assert solver.solve(assumptions=[a, -b]) is SatResult.UNSAT
+        # Dropping the assumptions: the clause set itself is satisfiable.
+        assert solver.solve() is SatResult.SAT
+        assert solver.solve(assumptions=[a]) is SatResult.SAT
+        assert solver.model_value(b) is True
+
+    def test_flip_assumption_after_unsat(self):
+        solver = SatSolver()
+        a, b, c = fresh_vars(solver, 3)
+        solver.add_clause([-a, c])
+        solver.add_clause([-b, -c])
+        assert solver.solve(assumptions=[a, b]) is SatResult.UNSAT
+        assert solver.solve(assumptions=[a, -b]) is SatResult.SAT
+        assert solver.solve(assumptions=[-a, b]) is SatResult.SAT
+
+    def test_contradictory_assumptions(self):
+        solver = SatSolver()
+        (a,) = fresh_vars(solver, 1)
+        assert solver.solve(assumptions=[a, -a]) is SatResult.UNSAT
+        assert solver.core  # a or -a must be blamed
+        assert set(solver.core) <= {a, -a}
+        assert solver.solve() is SatResult.SAT
+
+
+class TestUnsatCore:
+    def test_core_subset_of_assumptions(self):
+        solver = SatSolver()
+        a, b, c, d = fresh_vars(solver, 4)
+        solver.add_clause([-a, -b])  # a and b conflict
+        result = solver.solve(assumptions=[a, b, c, d])
+        assert result is SatResult.UNSAT
+        assert set(solver.core) <= {a, b, c, d}
+        # c and d are irrelevant to the refutation.
+        assert c not in set(solver.core)
+        assert d not in set(solver.core)
+        assert {a, b} & set(solver.core)
+
+    def test_core_from_chain(self):
+        solver = SatSolver()
+        a, b, c, goal = fresh_vars(solver, 4)
+        solver.add_clause([-a, b])
+        solver.add_clause([-b, c])
+        solver.add_clause([-c, -goal])
+        result = solver.solve(assumptions=[a, goal])
+        assert result is SatResult.UNSAT
+        core = set(solver.core)
+        assert core <= {a, goal}
+        assert core  # the refutation needs at least one assumption
+
+    def test_core_empty_when_clause_set_unsat(self):
+        solver = SatSolver()
+        (a,) = fresh_vars(solver, 1)
+        solver.add_clause([a])
+        solver.add_clause([-a])
+        assert solver.solve(assumptions=[a]) is SatResult.UNSAT
+        assert solver.core == []
+
+    def test_core_replay_is_unsat(self):
+        """Asserting the core as units must itself be UNSAT (core validity)."""
+        solver = SatSolver()
+        variables = fresh_vars(solver, 6)
+        a, b, c, d, e, f = variables
+        solver.add_clause([-a, -b, -c])
+        solver.add_clause([-d, e])
+        assert solver.solve(assumptions=[a, b, c, d, f]) is SatResult.UNSAT
+        core = list(solver.core)
+        replay = SatSolver()
+        replay.ensure_vars(max(abs(x) for x in core))
+        for clause in ([-a, -b, -c], [-d, e]):
+            replay.ensure_vars(max(abs(x) for x in clause))
+            replay.add_clause(clause)
+        for lit in core:
+            replay.add_clause([lit])
+        assert replay.solve() is SatResult.UNSAT
+
+
+class TestLearnedClausePersistence:
+    def test_learned_clauses_survive_without_contamination(self):
+        """The classic incremental-SAT bug: clauses learned under an
+        assumption must not constrain a later call that drops it."""
+        solver = SatSolver()
+        n = 8
+        xs = fresh_vars(solver, n)
+        trigger = solver.new_var()
+        # Under `trigger`, a small pigeonhole-ish contradiction over xs.
+        for i in range(n - 1):
+            solver.add_clause([-trigger, xs[i], xs[i + 1]])
+            solver.add_clause([-trigger, -xs[i], -xs[i + 1]])
+        solver.add_clause([-trigger, xs[0], xs[2]])
+        solver.add_clause([-trigger, -xs[0], -xs[2]])
+        first = solver.solve(assumptions=[trigger])
+        # Whatever the verdict under the assumption, dropping it must
+        # leave a satisfiable problem (set trigger false, xs free).
+        assert first in (SatResult.SAT, SatResult.UNSAT)
+        learned_after_first = solver.stats.learned
+        assert solver.solve() is SatResult.SAT
+        assert solver.solve(assumptions=[-trigger]) is SatResult.SAT
+        # Learned clauses were retained, not wiped, across the calls.
+        assert solver.stats.learned >= learned_after_first
+
+    def test_unit_learned_under_assumptions_survives(self):
+        """A unit learned while the trail is inside the assumption prefix
+        is parked and re-asserted at the next root visit — not lost, and
+        not mis-assigned at assumption level."""
+        solver = SatSolver()
+        a, b, c = fresh_vars(solver, 3)
+        # b is forced false by the clause set (two binary clauses), but
+        # only via search once `a` raises the decision level.
+        solver.add_clause([-b, c])
+        solver.add_clause([-b, -c])
+        assert solver.solve(assumptions=[a, b]) is SatResult.UNSAT
+        assert set(solver.core) == {b}
+        # -b is now root-implied; later calls see it immediately.
+        assert solver.solve(assumptions=[b]) is SatResult.UNSAT
+        assert solver.solve(assumptions=[-b]) is SatResult.SAT
+        assert solver.solve() is SatResult.SAT
+        assert solver.model_value(b) is False
+
+    def test_interleaved_clause_addition(self):
+        solver = SatSolver()
+        a, b, c = fresh_vars(solver, 3)
+        solver.add_clause([a, b])
+        assert solver.solve(assumptions=[-a]) is SatResult.SAT
+        # Add clauses between calls (incremental use).
+        solver.add_clause([-b, c])
+        assert solver.solve(assumptions=[-a]) is SatResult.SAT
+        assert solver.model_value(c) is True
+        solver.add_clause([-c])
+        assert solver.solve(assumptions=[-a]) is SatResult.UNSAT
+        assert set(solver.core) == {-a}
+        assert solver.solve() is SatResult.SAT
+
+    def test_many_calls_deterministic(self):
+        """Repeated identical calls stay stable (no state corruption)."""
+        solver = SatSolver()
+        xs = fresh_vars(solver, 6)
+        for i in range(5):
+            solver.add_clause([xs[i], xs[i + 1]])
+        for _ in range(5):
+            assert solver.solve(assumptions=[-xs[0], -xs[2]]) is SatResult.SAT
+            assert solver.solve(assumptions=[-xs[1], -xs[3]]) is SatResult.SAT
+        assert solver.stats.solve_calls == 10

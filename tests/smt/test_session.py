@@ -1,0 +1,205 @@
+"""SolverSession: incremental checks vs fresh check_sat.
+
+The contract: ``session.check(delta, assumptions=extra)`` is semantically
+``check_sat(conj([*base, *extra, delta]))`` — same verdicts, same cache
+keys — while reusing one SAT solver and bit-blaster across checks.
+"""
+
+import pytest
+
+from repro.smt import terms as t
+from repro.smt.cache import QueryCache
+from repro.smt.solver import Result, Solver
+
+W = 8
+
+
+def bv(name):
+    return t.bv_var(name, W)
+
+
+def const(value):
+    return t.bv_const(value, W)
+
+
+class TestSessionVerdicts:
+    def test_unsat_delta_under_assumptions(self):
+        x, y = bv("x"), bv("y")
+        # y = x*(x+1) is always even; asserting its low bit is 1 is UNSAT.
+        prefix = t.eq(y, t.mul(x, t.add(x, const(1))))
+        solver = Solver()
+        with solver.session([prefix]) as session:
+            delta = t.eq(t.extract(y, 0, 0), t.bv_const(1, 1))
+            assert session.check(delta) is Result.UNSAT
+            sat_delta = t.eq(t.extract(y, 0, 0), t.bv_const(0, 1))
+            assert session.check(sat_delta) is Result.SAT
+
+    def test_matches_fresh_solver(self):
+        x, y = bv("x"), bv("y")
+        prefix = t.eq(y, t.mul(x, x))
+        deltas = [
+            t.eq(y, const(16)),
+            t.ult(y, const(2)),
+            t.eq(t.bvand(y, const(1)), const(1)),
+            t.eq(t.add(y, y), const(3)),
+        ]
+        session_solver = Solver()
+        fresh_results = [
+            Solver().check_sat(t.and_(prefix, delta)) for delta in deltas
+        ]
+        with session_solver.session([prefix]) as session:
+            incremental = [session.check(delta) for delta in deltas]
+        assert incremental == fresh_results
+
+    def test_per_check_assumptions(self):
+        x = bv("x")
+        solver = Solver()
+        with solver.session() as session:
+            even = t.eq(t.extract(x, 0, 0), t.bv_const(0, 1))
+            odd = t.eq(t.extract(x, 0, 0), t.bv_const(1, 1))
+            assert session.check(odd, assumptions=[even]) is Result.UNSAT
+            assert session.check(odd) is Result.SAT
+            assert session.check(even, assumptions=[even]) is Result.SAT
+
+    def test_interleaved_sat_unsat(self):
+        """Learned clauses from UNSAT checks must not leak into later SAT
+        checks of the same session (the contamination bug at façade level)."""
+        x, y = bv("x"), bv("y")
+        prefix = t.eq(y, t.add(x, const(1)))
+        solver = Solver()
+        with solver.session([prefix]) as session:
+            assert session.check(t.eq(y, x)) is Result.UNSAT
+            assert session.check(t.eq(y, const(5))) is Result.SAT
+            assert session.check(t.ult(y, x)) is Result.SAT  # x = 255 wraps
+            assert (
+                session.check(t.and_(t.eq(x, const(0)), t.ult(y, x)))
+                is Result.UNSAT
+            )
+            assert session.check(t.eq(x, const(0))) is Result.SAT
+
+
+class TestSessionModels:
+    def test_model_satisfies_combined_goal(self):
+        x, y = bv("x"), bv("y")
+        prefix = t.eq(y, t.mul(x, x))
+        solver = Solver()
+        with solver.session([prefix]) as session:
+            delta = t.ult(const(3), y)
+            assert session.check(delta, need_model=True) is Result.SAT
+            model = solver.last_model
+            assert model is not None
+            xv, yv = model.eval_bv(x), model.eval_bv(y)
+            assert (xv * xv) & 0xFF == yv
+            assert 3 < yv
+
+    def test_trivial_goal_yields_model(self):
+        solver = Solver()
+        with solver.session() as session:
+            assert session.check(t.TRUE, need_model=True) is Result.SAT
+            assert solver.last_model is not None
+
+
+class TestSessionCore:
+    def test_last_core_names_assumption_terms(self):
+        x = bv("x")
+        lower = t.ult(const(10), x)  # x > 10
+        upper = t.ult(x, const(5))  # x < 5
+        unrelated = t.ult(x, const(200))
+        solver = Solver()
+        with solver.session([lower]) as session:
+            outcome = session.check(upper, assumptions=[unrelated])
+            assert outcome is Result.UNSAT
+            core = session.last_core
+            assert core is not None
+            assert set(core) <= {lower, upper, unrelated}
+            # The contradiction needs both bounds; the loose one is noise.
+            assert lower in core and upper in core
+
+
+class TestSessionStats:
+    def test_incremental_counters(self):
+        x, y = bv("x"), bv("y")
+        prefix = t.eq(y, t.mul(x, t.add(x, const(1))))
+        solver = Solver()
+        with solver.session([prefix]) as session:
+            for i in range(3):
+                # y is a product of consecutive integers, hence even; each
+                # odd target is UNSAT and needs bit-level mult reasoning.
+                session.check(t.eq(y, const(2 * i + 1)))
+        stats = solver.stats
+        assert stats.incremental_checks == 3
+        assert stats.queries == 3
+        # The second and third checks re-encode the shared y*y subterm from
+        # the blaster cache.
+        assert stats.encode_cache_hits > 0
+
+    def test_fresh_path_unaffected(self):
+        x = bv("x")
+        solver = Solver()
+        solver.check_sat(t.eq(x, const(3)))
+        assert solver.stats.incremental_checks == 0
+
+
+class TestSessionCacheInterplay:
+    def test_shared_namespace_with_fresh_path(self):
+        """A goal decided through a session must memo-hit when the same
+        conjunction is later issued through check_sat, and vice versa."""
+        x, y = bv("x"), bv("y")
+        prefix = t.eq(y, t.mul(x, x))
+        delta = t.eq(t.bvand(t.mul(y, x), const(7)), const(5))
+        solver = Solver()
+        with solver.session([prefix]) as session:
+            first = session.check(delta)
+        fast_before = solver.stats.fast_path
+        again = solver.check_sat(t.and_(prefix, delta))
+        assert again is first
+        assert solver.stats.fast_path == fast_before + 1  # memo hit
+
+    def test_shared_query_cache(self):
+        x, y = bv("x"), bv("y")
+        prefix = t.eq(y, t.mul(x, x))
+        delta = t.eq(t.bvand(t.mul(y, x), const(7)), const(5))
+        cache = QueryCache()
+        first_solver = Solver(cache=cache)
+        with first_solver.session([prefix]) as session:
+            first = session.check(delta)
+        second_solver = Solver(cache=cache)
+        hit_before = second_solver.stats.cache_hits
+        assert second_solver.check_sat(t.and_(prefix, delta)) is first
+        assert second_solver.stats.cache_hits == hit_before + 1
+
+    def test_unknown_not_cached(self):
+        x, y = bv("x"), bv("y")
+        # A multiplication equation with a tiny budget: UNKNOWN.
+        goal = t.eq(t.mul(t.mul(x, y), t.add(x, y)), const(123))
+        prefix = t.not_(t.eq(x, y))
+        cache = QueryCache()
+        starved = Solver(conflict_budget=1, cache=cache)
+        with starved.session([prefix]) as session:
+            outcome = session.check(goal)
+        if outcome is Result.UNKNOWN:
+            assert cache.stats.stores == 0
+
+
+class TestSessionEquivalenceSweep:
+    """Randomized-ish structural sweep: session == fresh on many goals."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sweep(self, seed):
+        x, y = bv("x"), bv("y")
+        prefix = t.eq(
+            t.add(t.mul(x, const(seed + 2)), y), const(17 * (seed + 1))
+        )
+        deltas = [
+            t.ult(x, const((seed * 37 + 11) & 0xFF)),
+            t.eq(t.bvxor(x, y), const((seed * 91 + 3) & 0xFF)),
+            t.slt(y, t.add(x, const(seed))),
+            t.eq(t.mul(x, y), const((seed * 53) & 0xFF)),
+        ]
+        fresh = [
+            Solver().check_sat(t.and_(prefix, delta)) for delta in deltas
+        ]
+        solver = Solver()
+        with solver.session([prefix]) as session:
+            incremental = [session.check(delta) for delta in deltas]
+        assert incremental == fresh

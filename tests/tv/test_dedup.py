@@ -1,0 +1,171 @@
+"""Cross-function sync-point dedup: fingerprints, planning, and replay."""
+
+import dataclasses
+
+from repro.tv import Category, TvOptions
+from repro.tv.batch import run_corpus
+from repro.tv.dedup import alpha_rename, plan_dedup, spec_fingerprint
+from repro.workloads import FunctionShape
+from repro.workloads.corpus import CorpusSpec, FunctionSpec
+
+SMALL = FunctionShape(straight_segments=1, ops_per_segment=3)
+LOOPY = FunctionShape(
+    straight_segments=2, ops_per_segment=4, diamonds=1, loops=1, memory_ops=1
+)
+
+
+def clone_corpus():
+    """Three alpha-equivalent clones plus two structurally distinct
+    functions (one of them a clone pair of its own)."""
+    return CorpusSpec(
+        functions=[
+            FunctionSpec("alpha_one", SMALL, seed=7, expect="succeeded"),
+            FunctionSpec("beta_solo", LOOPY, seed=9, expect="succeeded"),
+            FunctionSpec("alpha_two", SMALL, seed=7, expect="succeeded"),
+            FunctionSpec("alpha_three", SMALL, seed=7, expect="succeeded"),
+            FunctionSpec("gamma_solo", SMALL, seed=8, expect="succeeded"),
+        ]
+    )
+
+
+class TestAlphaRename:
+    def test_first_occurrence_order(self):
+        assert (
+            alpha_rename("%x = add i32 %y, %x")
+            == "%r0 = add i32 %r1, %r0"
+        )
+
+    def test_consistent_across_lines(self):
+        left = alpha_rename("%a = add i32 %b, 1\n%c = mul i32 %a, %b")
+        right = alpha_rename("%p = add i32 %q, 1\n%r = mul i32 %p, %q")
+        assert left == right
+
+    def test_distinguishes_structure(self):
+        # Same token multiset, different dataflow: not alpha-equivalent.
+        assert alpha_rename("%a = add i32 %a, %b") != alpha_rename(
+            "%a = add i32 %b, %b"
+        )
+
+
+class TestSpecFingerprint:
+    def test_clones_share_fingerprint(self):
+        corpus = clone_corpus()
+        module = corpus.build_module()
+        base = TvOptions()
+        prints = {
+            name: spec_fingerprint(module, name, base)
+            for name in ("alpha_one", "alpha_two", "alpha_three")
+        }
+        assert prints["alpha_one"] is not None
+        assert len(set(prints.values())) == 1
+
+    def test_different_shape_different_fingerprint(self):
+        corpus = clone_corpus()
+        module = corpus.build_module()
+        base = TvOptions()
+        assert spec_fingerprint(module, "alpha_one", base) != spec_fingerprint(
+            module, "beta_solo", base
+        )
+
+    def test_options_participate(self):
+        """Two functions validated under different options must never share
+        a class — liveness variants change the sync-point spec contract."""
+        corpus = clone_corpus()
+        module = corpus.build_module()
+        base = TvOptions()
+        imprecise = dataclasses.replace(base, imprecise_liveness=True)
+        assert spec_fingerprint(module, "alpha_one", base) != spec_fingerprint(
+            module, "alpha_one", imprecise
+        )
+
+    def test_unsupported_function_is_not_fingerprinted(self):
+        corpus = CorpusSpec(
+            functions=[
+                FunctionSpec(
+                    "weird",
+                    FunctionShape(unsupported=True),
+                    seed=1,
+                    expect="unsupported",
+                )
+            ]
+        )
+        module = corpus.build_module()
+        assert spec_fingerprint(module, "weird", TvOptions()) is None
+
+    def test_function_with_calls_is_not_fingerprinted(self):
+        """Call outcomes depend on callee bodies, which the fingerprint
+        does not cover — such functions validate individually."""
+        shape = dataclasses.replace(LOOPY, calls=1)
+        corpus = CorpusSpec(
+            functions=[FunctionSpec("caller", shape, seed=3, expect="succeeded")]
+        )
+        module = corpus.build_module()
+        assert spec_fingerprint(module, "caller", TvOptions()) is None
+
+
+class TestPlanDedup:
+    def test_representatives_and_replay(self):
+        corpus = clone_corpus()
+        module = corpus.build_module()
+        names = list(module.functions)
+        plan = plan_dedup(module, names, TvOptions(), {})
+        # First clone in corpus order represents the class.
+        assert plan.replay == {
+            "alpha_two": "alpha_one",
+            "alpha_three": "alpha_one",
+        }
+        assert plan.run_names == ["alpha_one", "beta_solo", "gamma_solo"]
+        assert plan.classes == 3
+        assert plan.deduped == 2
+
+    def test_override_splits_class(self):
+        corpus = clone_corpus()
+        module = corpus.build_module()
+        names = list(module.functions)
+        base = TvOptions()
+        overrides = {
+            "alpha_two": dataclasses.replace(base, imprecise_liveness=True)
+        }
+        plan = plan_dedup(module, names, base, overrides)
+        assert plan.replay == {"alpha_three": "alpha_one"}
+        assert "alpha_two" in plan.run_names
+
+
+class TestRunCorpusDedup:
+    def test_replayed_outcomes_are_marked_and_identical(self):
+        corpus = clone_corpus()
+        base = TvOptions()
+        deduped = run_corpus(corpus, base, dedup=True)
+        plain = run_corpus(corpus, base, dedup=False)
+        # Same functions, same order, same verdicts either way.
+        assert [(o.function, o.category) for o in deduped.outcomes] == [
+            (o.function, o.category) for o in plain.outcomes
+        ]
+        by_name = {o.function: o for o in deduped.outcomes}
+        for duplicate in ("alpha_two", "alpha_three"):
+            outcome = by_name[duplicate]
+            assert outcome.deduped
+            assert outcome.dedup_of == "alpha_one"
+            assert outcome.seconds == 0.0
+            assert outcome.solver_stats is None
+            assert "[deduped: alpha_one]" in str(outcome)
+        assert not by_name["alpha_one"].deduped
+        assert deduped.dedup_classes == 3
+        assert deduped.deduped_functions == 2
+        assert "dedup: 3 classes, 2 outcomes replayed" in deduped.summary()
+        assert by_name["alpha_one"].category == Category.SUCCEEDED
+
+    def test_dedup_skips_solver_work(self):
+        corpus = clone_corpus()
+        base = TvOptions()
+        deduped = run_corpus(corpus, base, dedup=True)
+        plain = run_corpus(corpus, base, dedup=False)
+        assert deduped.solver_stats.queries < plain.solver_stats.queries
+
+    def test_dedup_off_has_no_markers(self):
+        corpus = clone_corpus()
+        result = run_corpus(corpus, TvOptions(), dedup=False)
+        assert all(not o.deduped for o in result.outcomes)
+        assert result.dedup_classes == 0
+        assert result.deduped_functions == 0
+        assert "dedup:" not in result.summary()

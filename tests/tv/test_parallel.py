@@ -75,6 +75,76 @@ class TestJobsOneIdentity:
         assert result.solver_stats.queries > 0
 
 
+class TestJobsClamp:
+    """Oversubscription fix: jobs are clamped to the core count, and a
+    single effective worker short-circuits to the sequential runner."""
+
+    def test_jobs4_on_one_core_runs_sequentially(self, monkeypatch, caplog):
+        import logging
+
+        import repro.tv.parallel as parallel_module
+
+        corpus = gcc_like_corpus(scale=6, seed=5)
+        module = corpus.build_module()
+        base = TvOptions()
+        calls = {}
+        real_run_batch = parallel_module.run_batch
+
+        def spy_run_batch(*args, **kwargs):
+            calls["sequential"] = True
+            return real_run_batch(*args, **kwargs)
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(parallel_module, "run_batch", spy_run_batch)
+        with caplog.at_level(logging.INFO, logger="repro.tv.parallel"):
+            result = run_batch_parallel(module, base, jobs=4)
+        assert calls.get("sequential") is True
+        assert any(
+            "clamping jobs=4" in r.getMessage() for r in caplog.records
+        )
+        sequential = run_batch(module, base)
+        assert _outcome_keys(result) == _outcome_keys(sequential)
+
+    def test_jobs4_on_one_core_no_slower_than_sequential(self, monkeypatch):
+        """The acceptance criterion behind BENCH_parallel.json's 0.24x row:
+        with the clamp, --jobs 4 never pays spawn/re-parse overhead on a
+        box that cannot run workers concurrently."""
+        import repro.tv.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+        corpus = gcc_like_corpus(scale=6, seed=5)
+        module = corpus.build_module()
+        base = TvOptions()
+        started = time.perf_counter()
+        sequential = run_batch(module, base)
+        sequential_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        clamped = run_batch_parallel(module, base, jobs=4)
+        clamped_elapsed = time.perf_counter() - started
+        assert _outcome_keys(clamped) == _outcome_keys(sequential)
+        # Identical code path modulo noise; the old pool was ~4x slower.
+        assert clamped_elapsed < sequential_elapsed * 2 + 0.5
+
+    def test_injected_validate_keeps_requested_fanout(self, monkeypatch):
+        """Test hooks exercising pool mechanics (hang/crash/die) must not
+        be rerouted to the sequential runner by the clamp."""
+        import repro.tv.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+
+        def fail_run_batch(*args, **kwargs):
+            raise AssertionError("sequential fallback must not trigger")
+
+        monkeypatch.setattr(parallel_module, "run_batch", fail_run_batch)
+        module = generate_module(
+            [("ok_one", FunctionShape(loops=0, diamonds=0), 1)]
+        )
+        result = run_batch_parallel(
+            module, TvOptions(), jobs=2, validate=crash_on_marked
+        )
+        assert result.outcomes[0].category == Category.SUCCEEDED
+
+
 class TestHardKill:
     def test_hung_function_times_out_without_stalling_pool(self):
         module = generate_module(
