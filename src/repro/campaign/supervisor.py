@@ -1,0 +1,547 @@
+"""The campaign supervisor: shards × worker pool × journal × retry policy.
+
+``run_campaign`` turns a corpus into a durable campaign directory; crashes
+(of workers *or* of the supervisor itself) lose at most the functions that
+were in flight, and ``resume_campaign`` re-queues exactly those and drives
+the rest to completion.  ``campaign_status`` inspects a directory without
+running anything.
+
+Failure handling policy (the paper's Section 5 taxonomy, operationalised):
+
+- deterministic failures — ``timeout`` (step/wall budget), ``oom``
+  (spec-size budget), ``inadequate_sync`` (liveness-inadequate sync
+  points) — are terminal outcomes, recorded once and never retried;
+- a *worker death* (SIGKILL, OOM-kill, segfault) is transient from the
+  campaign's point of view: the function is re-queued with exponential
+  backoff.  A function whose worker dies ``max_kills`` times is a poison
+  pill and is quarantined (journalled, excluded from scheduling, reported
+  under the ``crash`` class) instead of wedging the campaign;
+- with ``halt_on_worker_death`` the supervisor instead stops at the first
+  death — the mode CI uses to simulate a mid-campaign crash and assert
+  that ``resume`` recovers cleanly.
+
+Workers are the spawn-safe processes of :mod:`repro.tv.parallel` (module
+shipped as text, hard wall-clock kill, per-worker query cache); the
+persistent ``cache_dir`` is the layer shards share.
+"""
+
+from __future__ import annotations
+
+import importlib
+import logging
+import multiprocessing as mp
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+
+from repro.campaign.journal import (
+    JOURNAL_VERSION,
+    Journal,
+    JournalState,
+    load_manifest,
+    load_state,
+    manifest_path,
+    outcome_to_json,
+    write_manifest,
+)
+from repro.campaign.merge import (
+    CampaignReport,
+    CampaignStatus,
+    build_status,
+    merge_campaign,
+)
+from repro.campaign.shard import ShardItem, plan_shards
+from repro.keq.report import FAILURE_CLASS_TIMEOUT
+from repro.tv.batch import corpus_overrides
+from repro.tv.dedup import plan_dedup
+from repro.tv.driver import Category, TvOptions, TvOutcome
+from repro.tv.parallel import Worker, hard_budget
+from repro.workloads import EXTERNAL_CALLEES, gcc_like_corpus
+
+logger = logging.getLogger(__name__)
+
+#: dispatcher poll interval while waiting for worker results (seconds).
+_POLL_SECONDS = 0.05
+
+
+class CampaignError(RuntimeError):
+    """Misuse of a campaign directory (missing/duplicate manifest, ...)."""
+
+
+class CampaignInterrupted(RuntimeError):
+    """The supervisor stopped before completion (``halt_on_worker_death``).
+
+    The journal is consistent: completed functions have ``done`` events,
+    the interrupted ones are in flight and will be re-queued by resume.
+    """
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign; persisted to the manifest."""
+
+    scale: int = 120
+    seed: int = 2021
+    #: per-function wall-clock budget (None = step budgets only).
+    wall_budget: float | None = 30.0
+    shards: int = 2
+    jobs: int = 2
+    #: shared persistent query cache; None = ``<directory>/cache``.
+    cache_dir: str | None = None
+    dedup: bool = True
+    strategy: str = "size_balanced"
+    #: worker deaths per function before quarantine (poison-pill rule).
+    max_kills: int = 2
+    #: base of the exponential re-queue backoff after a worker death.
+    backoff_seconds: float = 0.5
+    halt_on_worker_death: bool = False
+    #: replacement validation callable (importable module-level function,
+    #: e.g. the SIGKILL injector in :mod:`repro.campaign.hooks`).
+    validate: object | None = None
+
+
+def _base_options(wall_budget: float | None) -> TvOptions:
+    if wall_budget is None:
+        return TvOptions()
+    return TvOptions.for_campaign(wall_budget_seconds=wall_budget)
+
+
+def _validate_ref(validate) -> str | None:
+    if validate is None:
+        return None
+    return f"{validate.__module__}:{validate.__qualname__}"
+
+
+def _resolve_validate(reference: str | None):
+    if not reference:
+        return None
+    module_name, _, qualname = reference.partition(":")
+    target = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    return target
+
+
+@dataclass
+class _Job:
+    """One scheduled validation attempt (Worker.assign reads index/name)."""
+
+    index: int
+    name: str
+    shard: int
+    attempt: int
+    not_before: float = 0.0
+
+
+def run_campaign(
+    directory: str,
+    config: CampaignConfig | None = None,
+    corpus=None,
+) -> CampaignReport:
+    """Start a fresh campaign in ``directory`` and drive it to completion.
+
+    ``corpus`` defaults to :func:`gcc_like_corpus` at the config's
+    scale/seed (the resumable case); a custom corpus is accepted but must
+    be passed to ``resume_campaign`` again after a crash.
+    """
+    config = config or CampaignConfig()
+    if os.path.exists(manifest_path(directory)):
+        raise CampaignError(
+            f"{directory!r} already holds a campaign; use resume"
+        )
+    corpus_desc: dict = {"kind": "custom"}
+    if corpus is None:
+        corpus = gcc_like_corpus(scale=config.scale, seed=config.seed)
+        corpus_desc = {
+            "kind": "gcc_like",
+            "scale": config.scale,
+            "seed": config.seed,
+        }
+    module = corpus.build_module()
+    base = _base_options(config.wall_budget)
+    overrides = corpus_overrides(corpus, base)
+    names = list(module.functions)
+    run_names, replay, classes = names, {}, 0
+    if config.dedup:
+        plan = plan_dedup(
+            module,
+            names,
+            base,
+            overrides,
+            known_externals=frozenset(EXTERNAL_CALLEES),
+        )
+        run_names, replay, classes = plan.run_names, plan.replay, plan.classes
+    run_set = set(run_names)
+    sizes = {
+        name: sum(1 for _ in module.function(name).instructions())
+        for name in names
+    }
+    items = [
+        ShardItem(
+            name=name,
+            weight=sizes[name] if name in run_set else 0,
+            group=replay.get(name, name),
+        )
+        for name in names
+    ]
+    shard_plan = plan_shards(items, config.shards, config.strategy)
+    cache_dir = config.cache_dir or os.path.join(directory, "cache")
+    manifest = {
+        "version": JOURNAL_VERSION,
+        "corpus": corpus_desc,
+        "wall_budget": config.wall_budget,
+        "shards": shard_plan.n_shards,
+        "jobs": config.jobs,
+        "cache_dir": cache_dir,
+        "dedup": config.dedup,
+        "strategy": config.strategy,
+        "max_kills": config.max_kills,
+        "backoff_seconds": config.backoff_seconds,
+        "halt_on_worker_death": config.halt_on_worker_death,
+        "validate": _validate_ref(config.validate),
+        "functions": names,
+        "run_names": run_names,
+        "replay": replay,
+        "dedup_classes": classes,
+        "shard_lists": shard_plan.shards,
+    }
+    write_manifest(directory, manifest)
+    jobs = [
+        _Job(index, name, shard_plan.shard_of(name), attempt=1)
+        for index, name in enumerate(
+            name
+            for shard in shard_plan.shards
+            for name in shard
+            if name in run_set
+        )
+    ]
+    with Journal(directory) as journal:
+        _drive(
+            journal=journal,
+            jobs=jobs,
+            kills={},
+            module_text=str(module),
+            base=base,
+            overrides=overrides,
+            cache_dir=cache_dir,
+            validate=config.validate,
+            pool_size=config.jobs,
+            max_kills=config.max_kills,
+            backoff_seconds=config.backoff_seconds,
+            halt_on_worker_death=config.halt_on_worker_death,
+        )
+    return merge_campaign(manifest, load_state(directory))
+
+
+def resume_campaign(
+    directory: str,
+    corpus=None,
+    validate=None,
+) -> CampaignReport:
+    """Resume a crashed or halted campaign: skip completed work, re-queue
+    in-flight functions exactly once, finish, and merge."""
+    try:
+        manifest = load_manifest(directory)
+    except OSError as error:
+        raise CampaignError(f"no campaign manifest in {directory!r}") from error
+    if corpus is None:
+        desc = manifest["corpus"]
+        if desc.get("kind") != "gcc_like":
+            raise CampaignError(
+                "campaign was started from a custom corpus; pass it to resume"
+            )
+        corpus = gcc_like_corpus(scale=desc["scale"], seed=desc["seed"])
+    if validate is None:
+        validate = _resolve_validate(manifest.get("validate"))
+    module = corpus.build_module()
+    base = _base_options(manifest["wall_budget"])
+    overrides = corpus_overrides(corpus, base)
+    state = load_state(directory)
+    max_kills = manifest["max_kills"]
+    run_names = manifest["run_names"]
+    assignment = {
+        name: index
+        for index, shard in enumerate(manifest["shard_lists"])
+        for name in shard
+    }
+    kills = {
+        name: ledger.kills for name, ledger in state.ledgers.items()
+    }
+    with Journal(directory) as journal:
+        quarantined_now: set[str] = set()
+        for orphan in state.orphans():
+            attempt = state.ledger(orphan).starts
+            if kills.get(orphan, 0) >= max_kills:
+                journal.append(
+                    {
+                        "event": "quarantine",
+                        "fn": orphan,
+                        "shard": assignment.get(orphan),
+                        "attempt": attempt,
+                        "reason": (
+                            f"poison pill: {kills[orphan]} worker deaths"
+                            " without an outcome"
+                        ),
+                    }
+                )
+                quarantined_now.add(orphan)
+            else:
+                journal.append(
+                    {
+                        "event": "requeue",
+                        "fn": orphan,
+                        "shard": assignment.get(orphan),
+                        "attempt": attempt,
+                        "reason": "in flight at supervisor crash/halt",
+                        "delay": 0.0,
+                    }
+                )
+        completed = state.completed
+        quarantined = set(state.quarantined) | quarantined_now
+        jobs = []
+        for index, name in enumerate(
+            name
+            for shard in manifest["shard_lists"]
+            for name in shard
+            if name in set(run_names)
+            and name not in completed
+            and name not in quarantined
+        ):
+            jobs.append(
+                _Job(
+                    index,
+                    name,
+                    assignment[name],
+                    attempt=state.ledger(name).starts + 1,
+                )
+            )
+        _drive(
+            journal=journal,
+            jobs=jobs,
+            kills=kills,
+            module_text=str(module),
+            base=base,
+            overrides=overrides,
+            cache_dir=manifest["cache_dir"],
+            validate=validate,
+            pool_size=manifest["jobs"],
+            max_kills=max_kills,
+            backoff_seconds=manifest["backoff_seconds"],
+            halt_on_worker_death=manifest["halt_on_worker_death"],
+        )
+    return merge_campaign(manifest, load_state(directory))
+
+
+def campaign_status(directory: str) -> CampaignStatus:
+    """Inspect a campaign directory without running anything."""
+    try:
+        manifest = load_manifest(directory)
+    except OSError as error:
+        raise CampaignError(f"no campaign manifest in {directory!r}") from error
+    return build_status(manifest, load_state(directory))
+
+
+def _drive(
+    journal: Journal,
+    jobs: list[_Job],
+    kills: dict[str, int],
+    module_text: str,
+    base: TvOptions,
+    overrides: dict[str, TvOptions],
+    cache_dir: str | None,
+    validate,
+    pool_size: int,
+    max_kills: int,
+    backoff_seconds: float,
+    halt_on_worker_death: bool,
+) -> None:
+    """Drain ``jobs`` through a worker pool, journaling every transition.
+
+    Mirrors :func:`repro.tv.parallel.run_batch_parallel`'s dispatcher
+    (deterministic spawn-safe workers, hard wall-clock kill) and adds the
+    campaign policies: shard-interleaved scheduling, re-queue with
+    exponential backoff on worker death, poison-pill quarantine, and the
+    journal writes that make all of it resumable.
+    """
+    if not jobs:
+        return
+    cores = os.cpu_count() or 1
+    if validate is None and pool_size > cores:
+        logger.info(
+            "clamping jobs=%d to cpu_count=%d (avoiding oversubscription)",
+            pool_size,
+            cores,
+        )
+        pool_size = cores
+    pool_size = max(1, min(pool_size, len(jobs)))
+    ctx = mp.get_context("spawn")
+
+    #: per-shard queues, drained round-robin so every shard progresses.
+    shard_ids = sorted({job.shard for job in jobs})
+    queues: dict[int, deque[_Job]] = {shard: deque() for shard in shard_ids}
+    for job in jobs:
+        queues[job.shard].append(job)
+    unresolved = {job.name for job in jobs}
+    jobs_by_index = {job.index: job for job in jobs}
+    next_index = max(jobs_by_index) + 1
+    rotation = 0
+
+    def spawn() -> Worker:
+        return Worker(ctx, module_text, base, overrides, cache_dir, validate)
+
+    def next_ready(now: float) -> _Job | None:
+        nonlocal rotation
+        for offset in range(len(shard_ids)):
+            shard = shard_ids[(rotation + offset) % len(shard_ids)]
+            queue = queues[shard]
+            if queue and queue[0].not_before <= now:
+                rotation = (rotation + offset + 1) % len(shard_ids)
+                return queue.popleft()
+        return None
+
+    def journal_event(kind: str, job: _Job, **extra) -> None:
+        journal.append(
+            {
+                "event": kind,
+                "fn": job.name,
+                "shard": job.shard,
+                "attempt": job.attempt,
+                **extra,
+            }
+        )
+
+    def record_done(job: _Job, outcome: TvOutcome) -> None:
+        journal_event("done", job, outcome=outcome_to_json(outcome))
+        unresolved.discard(job.name)
+
+    def on_worker_death(job: _Job, detail: str) -> None:
+        nonlocal next_index
+        kills[job.name] = kills.get(job.name, 0) + 1
+        if halt_on_worker_death:
+            # The halt names the function so load_state charges the death
+            # to it (the poison-pill counter survives the restart).
+            journal.append(
+                {
+                    "event": "halt",
+                    "fn": job.name,
+                    "shard": job.shard,
+                    "attempt": job.attempt,
+                    "reason": detail,
+                }
+            )
+            raise CampaignInterrupted(
+                f"halted on worker death while validating {job.name!r}"
+                f" ({detail}); resume to continue"
+            )
+        if kills[job.name] >= max_kills:
+            journal_event(
+                "quarantine",
+                job,
+                reason=f"poison pill: killed {kills[job.name]} workers"
+                f" ({detail})",
+            )
+            unresolved.discard(job.name)
+            return
+        delay = backoff_seconds * (2 ** (kills[job.name] - 1))
+        journal_event("requeue", job, reason=detail, delay=delay, death=True)
+        retry = _Job(
+            index=next_index,
+            name=job.name,
+            shard=job.shard,
+            attempt=job.attempt + 1,
+            not_before=time.monotonic() + delay,
+        )
+        next_index += 1
+        jobs_by_index[retry.index] = retry
+        queues[retry.shard].append(retry)
+
+    workers: list[Worker] = []
+    try:
+        workers = [spawn() for _ in range(pool_size)]
+        while unresolved:
+            now = time.monotonic()
+            for worker in list(workers):
+                if worker.task is not None:
+                    continue
+                job = next_ready(now)
+                if job is None:
+                    break
+                try:
+                    worker.assign(
+                        job, hard_budget(overrides.get(job.name, base))
+                    )
+                except (BrokenPipeError, OSError):
+                    # Worker died before taking work: not the function's
+                    # fault — requeue without counting a kill.
+                    queues[job.shard].appendleft(job)
+                    worker.task = None
+                    worker.kill()
+                    workers.remove(worker)
+                    workers.append(spawn())
+                    continue
+                journal_event("start", job)
+            busy = [w.conn for w in workers if w.task is not None]
+            if busy:
+                ready = mp_connection.wait(busy, timeout=_POLL_SECONDS)
+            else:
+                ready = []
+                if unresolved:
+                    time.sleep(_POLL_SECONDS)  # every queue is backing off
+            replacements: list[Worker] = []
+            dead: list[Worker] = []
+            for worker in workers:
+                if worker.task is None:
+                    continue
+                job = worker.task
+                if worker.conn in ready:
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-function (SIGKILL, OOM-kill, ...).
+                        worker.process.join(timeout=1.0)  # reap for exitcode
+                        exitcode = worker.process.exitcode
+                        dead.append(worker)
+                        worker.kill()
+                        on_worker_death(  # may raise CampaignInterrupted
+                            job, f"worker process died (exitcode={exitcode})"
+                        )
+                        if unresolved:
+                            replacements.append(spawn())
+                        continue
+                    _, index, outcome = message
+                    record_done(jobs_by_index[index], outcome)
+                    worker.task = None
+                    continue
+                if worker.overdue(time.perf_counter()):
+                    # Worker.assign stamps started/deadline with
+                    # perf_counter — keep the same clock here.
+                    dead.append(worker)
+                    worker.kill()
+                    record_done(
+                        job,
+                        TvOutcome(
+                            job.name,
+                            Category.TIMEOUT,
+                            detail="hard wall-clock kill (worker unresponsive)",
+                            seconds=time.perf_counter() - worker.started,
+                            failure_class=FAILURE_CLASS_TIMEOUT,
+                        ),
+                    )
+                    if unresolved:
+                        replacements.append(spawn())
+            for worker in dead:
+                workers.remove(worker)
+            workers.extend(replacements)
+            if not workers and unresolved:
+                workers = [spawn() for _ in range(pool_size)]
+    finally:
+        for worker in workers:
+            try:
+                if worker.task is not None:
+                    worker.kill()
+                else:
+                    worker.shutdown()
+            except Exception:
+                pass

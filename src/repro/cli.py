@@ -4,12 +4,17 @@ Usage::
 
     python -m repro single FILE.ll [--function NAME] [options]
     python -m repro show FILE.ll [--function NAME] [options]
-    python -m repro campaign [--scale N] [--seed N]
+    python -m repro campaign run [--scale N] [--seed N] [--dir DIR]
+    python -m repro campaign resume DIR
+    python -m repro campaign status DIR
     python -m repro fuzz [--seed N] [--iterations N]
 
 ``single`` validates one function end to end; ``show`` prints the ISel
-output and the generated synchronization points; ``campaign`` reruns the
-Figure 6/7 evaluation on the synthetic corpus; ``fuzz`` runs the
+output and the generated synchronization points; ``campaign run`` reruns
+the Figure 6/7 evaluation on the synthetic corpus (with ``--dir`` it
+becomes a durable, sharded, resumable campaign — see
+:mod:`repro.campaign`); ``campaign resume`` continues a crashed or halted
+campaign and ``campaign status`` inspects one; ``fuzz`` runs the
 differential testing campaign against the SMT stack.
 """
 
@@ -110,22 +115,100 @@ def cmd_show(args) -> int:
     return 0
 
 
-def cmd_campaign(args) -> int:
-    corpus = gcc_like_corpus(scale=args.scale, seed=args.seed)
+#: process exit code when a campaign halts on a worker death (distinct
+#: from argparse's 2 so CI can tell "halted, resume me" from misuse).
+EXIT_CAMPAIGN_INTERRUPTED = 3
+
+
+def _campaign_injection(args) -> object | None:
+    """Arm the SIGKILL-injection hook from CLI flags (crash-recovery CI)."""
+    import os
+
+    from repro.campaign import hooks
+
+    if not (args.inject_kill_once or args.inject_kill_always):
+        return None
+    if args.inject_kill_once:
+        os.environ[hooks.KILL_ONCE_ENV] = args.inject_kill_once
+    if args.inject_kill_always:
+        os.environ[hooks.KILL_ALWAYS_ENV] = args.inject_kill_always
+    os.environ[hooks.KILL_DIR_ENV] = args.dir
+    return hooks.sigkill_injector
+
+
+def cmd_campaign_run(args) -> int:
     jobs = args.jobs if args.jobs is not None else 1
-    print(
-        f"validating {len(corpus.functions)} functions"
-        f" (jobs={jobs}"
-        + (f", cache-dir={args.cache_dir}" if args.cache_dir else "")
-        + ")..."
+    if args.dir is None:
+        if args.inject_kill_once or args.inject_kill_always:
+            raise SystemExit("--inject-kill-* requires --dir (a campaign)")
+        corpus = gcc_like_corpus(scale=args.scale, seed=args.seed)
+        print(
+            f"validating {len(corpus.functions)} functions"
+            f" (jobs={jobs}"
+            + (f", cache-dir={args.cache_dir}" if args.cache_dir else "")
+            + ")..."
+        )
+        result = run_corpus(
+            corpus,
+            TvOptions.for_campaign(wall_budget_seconds=args.wall_budget),
+            jobs=jobs,
+            cache_dir=args.cache_dir,
+        )
+        print(result.summary())
+        return 0
+    from repro.campaign import (
+        CampaignConfig,
+        CampaignError,
+        CampaignInterrupted,
+        run_campaign,
     )
-    result = run_corpus(
-        corpus,
-        TvOptions.for_campaign(wall_budget_seconds=args.wall_budget),
+
+    config = CampaignConfig(
+        scale=args.scale,
+        seed=args.seed,
+        wall_budget=args.wall_budget,
+        shards=args.shards,
         jobs=jobs,
         cache_dir=args.cache_dir,
+        dedup=not args.no_dedup,
+        strategy=args.strategy,
+        halt_on_worker_death=args.halt_on_worker_death,
+        validate=_campaign_injection(args),
     )
-    print(result.summary())
+    print(f"campaign: {args.dir} (shards={args.shards}, jobs={jobs})")
+    try:
+        report = run_campaign(args.dir, config)
+    except CampaignInterrupted as halt:
+        print(f"campaign halted: {halt}")
+        return EXIT_CAMPAIGN_INTERRUPTED
+    except CampaignError as error:
+        raise SystemExit(str(error)) from error
+    print(report.summary())
+    return 0
+
+
+def cmd_campaign_resume(args) -> int:
+    from repro.campaign import CampaignError, CampaignInterrupted, resume_campaign
+
+    try:
+        report = resume_campaign(args.dir)
+    except CampaignInterrupted as halt:
+        print(f"campaign halted: {halt}")
+        return EXIT_CAMPAIGN_INTERRUPTED
+    except CampaignError as error:
+        raise SystemExit(str(error)) from error
+    print(report.summary())
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.campaign import CampaignError, campaign_status
+
+    try:
+        status = campaign_status(args.dir)
+    except CampaignError as error:
+        raise SystemExit(str(error)) from error
+    print(status.render())
     return 0
 
 
@@ -174,27 +257,89 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(show)
     show.set_defaults(run=cmd_show)
 
-    campaign = sub.add_parser("campaign", help="rerun the Figure 6/7 evaluation")
-    campaign.add_argument("--scale", type=int, default=120)
-    campaign.add_argument("--seed", type=int, default=2021)
-    campaign.add_argument(
+    campaign = sub.add_parser(
+        "campaign", help="run, resume, or inspect a validation campaign"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run = campaign_sub.add_parser(
+        "run", help="rerun the Figure 6/7 evaluation (durable with --dir)"
+    )
+    run.add_argument("--scale", type=int, default=120)
+    run.add_argument("--seed", type=int, default=2021)
+    run.add_argument(
         "--wall-budget",
         type=float,
         default=30.0,
         help="per-function wall-clock limit in seconds (paper: 3 hours)",
     )
-    campaign.add_argument(
+    run.add_argument(
         "--jobs",
         type=int,
         default=None,
         help="validate functions across N worker processes (default: 1)",
     )
-    campaign.add_argument(
+    run.add_argument(
         "--cache-dir",
         default=None,
         help="persistent solver query cache shared across runs and workers",
     )
-    campaign.set_defaults(run=cmd_campaign)
+    run.add_argument(
+        "--dir",
+        default=None,
+        help="campaign directory: journal outcomes there and make the run"
+        " sharded, checkpointed, and resumable",
+    )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="number of shards for a --dir campaign (default: 2)",
+    )
+    run.add_argument(
+        "--strategy",
+        choices=["round_robin", "size_balanced"],
+        default="size_balanced",
+        help="shard assignment strategy (default: size_balanced)",
+    )
+    run.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable alpha-equivalence outcome deduplication",
+    )
+    run.add_argument(
+        "--halt-on-worker-death",
+        action="store_true",
+        help="stop the supervisor at the first worker death instead of"
+        " retrying (simulates a mid-campaign crash; resume to continue)",
+    )
+    run.add_argument(
+        "--inject-kill-once",
+        metavar="REGEX",
+        default=None,
+        help="fault injection: SIGKILL the worker the first time it"
+        " validates a matching function (requires --dir)",
+    )
+    run.add_argument(
+        "--inject-kill-always",
+        metavar="REGEX",
+        default=None,
+        help="fault injection: SIGKILL the worker on every attempt of a"
+        " matching function — a poison pill (requires --dir)",
+    )
+    run.set_defaults(run=cmd_campaign_run)
+
+    resume = campaign_sub.add_parser(
+        "resume", help="resume a crashed or halted campaign directory"
+    )
+    resume.add_argument("dir")
+    resume.set_defaults(run=cmd_campaign_resume)
+
+    status = campaign_sub.add_parser(
+        "status", help="inspect a campaign directory without running"
+    )
+    status.add_argument("dir")
+    status.set_defaults(run=cmd_campaign_status)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential-fuzz the SMT stack (generator + oracles)"

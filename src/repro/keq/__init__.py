@@ -30,11 +30,18 @@ from repro.keq.theory import (
 from repro.keq.syncpoints import EqConstraint, Expr, StateSpec, SyncPoint
 from repro.keq.acceptability import Acceptability, default_acceptability
 from repro.keq.symbolic import Keq, KeqOptions
-from repro.keq.report import CheckFailure, FailureReason, KeqReport, Verdict
+from repro.keq.report import (
+    FAILURE_CLASSES,
+    CheckFailure,
+    FailureReason,
+    KeqReport,
+    Verdict,
+)
 
 __all__ = [
     "Acceptability",
     "CheckFailure",
+    "FAILURE_CLASSES",
     "CutTransitionSystem",
     "EqConstraint",
     "Expr",

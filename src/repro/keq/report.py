@@ -16,6 +16,23 @@ class Verdict(enum.Enum):
         return self is Verdict.VALIDATED
 
 
+#: Campaign failure taxonomy (the paper's Section 5 failure categories,
+#: plus ``crash`` for infrastructure failures the paper tallies under
+#: "other").  The tuple order is the canonical rendering order — every
+#: campaign report iterates it directly so merged output never depends on
+#: dict/Counter insertion order.
+FAILURE_CLASS_TIMEOUT = "timeout"
+FAILURE_CLASS_OOM = "oom"
+FAILURE_CLASS_INADEQUATE_SYNC = "inadequate_sync"
+FAILURE_CLASS_CRASH = "crash"
+FAILURE_CLASSES = (
+    FAILURE_CLASS_TIMEOUT,
+    FAILURE_CLASS_OOM,
+    FAILURE_CLASS_INADEQUATE_SYNC,
+    FAILURE_CLASS_CRASH,
+)
+
+
 class FailureReason(enum.Enum):
     UNMATCHED_LEFT = "left successor matched no synchronization point"
     UNMATCHED_RIGHT = "right successor matched no synchronization point"

@@ -34,6 +34,15 @@ class BatchResult:
         """Outcome tally — one O(n) pass, not one per category queried."""
         return Counter(o.category for o in self.outcomes)
 
+    @property
+    def failure_class_counts(self) -> Counter:
+        """Failure tally over the campaign taxonomy (see
+        :data:`repro.keq.report.FAILURE_CLASSES`).  Render it by iterating
+        that tuple, never the Counter itself, so output order is stable."""
+        return Counter(
+            o.failure_class for o in self.outcomes if o.failure_class
+        )
+
     def count(self, category: str) -> int:
         return self.category_counts[category]
 
@@ -100,6 +109,50 @@ class BatchResult:
                 f" {self.deduped_functions} outcomes replayed"
             )
         return "\n".join(lines)
+
+
+def merge_results(results) -> BatchResult:
+    """Fold many :class:`BatchResult`\\ s (e.g. one per campaign shard) into
+    one.
+
+    Deterministic regardless of shard completion order: outcomes are sorted
+    by function name, so two merges of the same shard set render
+    byte-identical summaries no matter which shard finished first.
+    """
+    merged = BatchResult()
+    for result in results:
+        merged.outcomes.extend(result.outcomes)
+        merged.excluded += result.excluded
+        merged.dedup_classes += result.dedup_classes
+        merged.deduped_functions += result.deduped_functions
+    merged.outcomes.sort(key=lambda outcome: outcome.function)
+    merged.merge_stats()
+    return merged
+
+
+def replay_outcomes(
+    outcomes: list[TvOutcome], replay: dict[str, str]
+) -> list[TvOutcome]:
+    """Materialise deduped outcomes: for every ``duplicate -> representative``
+    pair, append a marked copy of the representative's outcome (zero time,
+    no solver stats — the work happened once)."""
+    by_name = {outcome.function: outcome for outcome in outcomes}
+    replayed = list(outcomes)
+    for duplicate, representative in replay.items():
+        source = by_name.get(representative)
+        if source is None:
+            continue
+        replayed.append(
+            dataclasses.replace(
+                source,
+                function=duplicate,
+                seconds=0.0,
+                solver_stats=None,  # no solver work: don't double-count
+                deduped=True,
+                dedup_of=representative,
+            )
+        )
+    return replayed
 
 
 def run_batch(
@@ -169,8 +222,15 @@ def run_corpus(
     plan = None
     if dedup:
         from repro.tv.dedup import plan_dedup
+        from repro.workloads import EXTERNAL_CALLEES
 
-        plan = plan_dedup(module, names, base, overrides)
+        plan = plan_dedup(
+            module,
+            names,
+            base,
+            overrides,
+            known_externals=frozenset(EXTERNAL_CALLEES),
+        )
         run_names = plan.run_names
     else:
         run_names = names
@@ -194,17 +254,10 @@ def run_corpus(
             cache_dir=cache_dir,
         )
     if plan is not None and plan.replay:
-        by_name = {outcome.function: outcome for outcome in result.outcomes}
-        for duplicate, representative in plan.replay.items():
-            source = by_name[representative]
-            by_name[duplicate] = dataclasses.replace(
-                source,
-                function=duplicate,
-                seconds=0.0,
-                solver_stats=None,  # no solver work: don't double-count
-                deduped=True,
-                dedup_of=representative,
-            )
+        by_name = {
+            outcome.function: outcome
+            for outcome in replay_outcomes(result.outcomes, plan.replay)
+        }
         result.outcomes = [by_name[name] for name in names]
         result.merge_stats()
     if plan is not None:

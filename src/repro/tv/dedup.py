@@ -23,11 +23,22 @@ alpha-equivalent — same KEQ obligations modulo variable names — not merely
 that the spec *shapes* coincide (shape alone cannot distinguish ``add``
 from ``sub``).
 
+Functions with calls are fingerprinted by extending the material with the
+*reachable callee region*: the alpha-renamed bodies of every module-defined
+callee reachable through the call graph, appended in first-call order, with
+defined callee names canonicalised positionally (``§c1§``, ``§c2§``, ...).
+Calls to *undefined* callees are uninterpreted boundary cut points on both
+semantics sides (a ``CallMarker`` keyed on the callee name), so they are
+sound to fingerprint by name — but only when the caller declares them as
+known boundaries via ``known_externals``.  An undefined callee *not* in
+that set is treated as missing and disables dedup for its callers.
+
 Functions that cannot be fingerprinted are validated individually:
 
 - ISel/VCGen rejects the function (the outcome is cheap anyway);
-- the function makes calls — its outcome also depends on callee bodies,
-  which the fingerprint does not cover.
+- the function calls a callee that is neither defined in the module nor a
+  declared external boundary (its outcome would depend on a body the
+  fingerprint cannot see).
 
 Caveat: deterministic *witness search* keys on variable names, so two
 alpha-equivalent functions can in principle spend different conflict
@@ -50,7 +61,6 @@ from repro.vcgen import VcGenError, generate_sync_points
 
 #: SSA values and virtual registers in the printed artifacts.
 _VALUE_TOKEN = re.compile(r"%[A-Za-z0-9_.]+")
-_CALL_TOKEN = re.compile(r"\bcall\b")
 
 
 def alpha_rename(text: str) -> str:
@@ -67,13 +77,64 @@ def alpha_rename(text: str) -> str:
     return _VALUE_TOKEN.sub(rename, text)
 
 
+def _callee_region(
+    module: ir.Module, root: ir.Function
+) -> tuple[list[ir.Function], list[str]]:
+    """Module-defined callees reachable from ``root`` (first-call order,
+    cycle-safe) and the undefined callee names encountered on the way."""
+    region: list[ir.Function] = []
+    externals: list[str] = []
+    visited = {root.name}
+    missing_seen: set[str] = set()
+    queue = [root]
+    while queue:
+        function = queue.pop(0)
+        for _, _, instruction in function.instructions():
+            if not isinstance(instruction, ir.Call):
+                continue
+            callee = instruction.callee
+            if callee in visited:
+                continue
+            defined = module.functions.get(callee)
+            if defined is not None:
+                visited.add(callee)
+                region.append(defined)
+                queue.append(defined)
+            elif callee not in missing_seen:
+                missing_seen.add(callee)
+                externals.append(callee)
+    return region, externals
+
+
+def _rename_functions(text: str, names: list[str]) -> str:
+    """Positionally canonicalise function names: ``names[i]`` -> ``§ci§``.
+
+    Token-guarded (a name never rewrites inside a longer identifier), so it
+    is safe on both the ``@name`` spelling of LLVM calls and the bare-label
+    spelling of machine ``call`` instructions.
+    """
+    if not names:
+        return text
+    placeholder = {name: f"§c{i}§" for i, name in enumerate(names)}
+    pattern = re.compile(
+        r"(?<![A-Za-z0-9_.$])("
+        + "|".join(re.escape(name) for name in names)
+        + r")(?![A-Za-z0-9_.$])"
+    )
+    return pattern.sub(lambda match: placeholder[match.group(1)], text)
+
+
 def spec_fingerprint(
-    module: ir.Module, function_name: str, options: TvOptions
+    module: ir.Module,
+    function_name: str,
+    options: TvOptions,
+    known_externals: frozenset[str] | tuple[str, ...] | None = None,
 ) -> str | None:
     """Canonical fingerprint of one function's validation problem.
 
-    Returns ``None`` when the function cannot be soundly deduped (ISel or
-    VCGen failure, or the function makes calls).
+    Returns ``None`` when the function cannot be soundly deduped: ISel or
+    VCGen failure, or a call to a callee that is neither defined in the
+    module nor listed in ``known_externals`` (see the module docstring).
     """
     function = module.function(function_name)
     try:
@@ -87,14 +148,18 @@ def spec_fingerprint(
         )
     except (IselError, VcGenError):
         return None
+    region, externals = _callee_region(module, function)
+    boundaries = known_externals or ()
+    if any(callee not in boundaries for callee in externals):
+        return None  # a callee body is missing: validate individually
     llvm_text = str(function)
     machine_text = str(machine)
-    if _CALL_TOKEN.search(llvm_text) or _CALL_TOKEN.search(machine_text):
-        return None
     spec_text = "\n".join(repr(point) for point in points)
-    raw = "\n§\n".join(
-        (llvm_text, machine_text, spec_text, repr(options))
-    ).replace(function_name, "§fn§")
+    parts = [llvm_text, machine_text, spec_text, repr(options)]
+    parts += [str(callee) for callee in region]
+    raw = _rename_functions(
+        "\n§\n".join(parts), [function_name] + [f.name for f in region]
+    )
     return hashlib.sha256(alpha_rename(raw).encode()).hexdigest()
 
 
@@ -120,17 +185,22 @@ def plan_dedup(
     names: list[str],
     base: TvOptions,
     overrides: dict[str, TvOptions] | None = None,
+    known_externals: frozenset[str] | tuple[str, ...] | None = None,
 ) -> DedupPlan:
     """Group ``names`` into alpha-equivalence classes.
 
     The first member of each class (in corpus order) is its representative;
-    later members are replayed from its outcome.
+    later members are replayed from its outcome.  ``known_externals`` names
+    undefined callees that are declared boundary cut points (see
+    :func:`spec_fingerprint`).
     """
     overrides = overrides or {}
     plan = DedupPlan()
     representative_by_print: dict[str, str] = {}
     for name in names:
-        fingerprint = spec_fingerprint(module, name, overrides.get(name, base))
+        fingerprint = spec_fingerprint(
+            module, name, overrides.get(name, base), known_externals
+        )
         if fingerprint is None:
             plan.run_names.append(name)
             continue

@@ -34,6 +34,7 @@ from repro.keq import (
     Verdict,
     default_acceptability,
 )
+from repro.keq.report import FAILURE_CLASS_INADEQUATE_SYNC
 from repro.llvm import ir
 from repro.llvm.semantics import LlvmSemantics, SemanticsError
 from repro.smt import QueryCache, QueryStats, Solver
@@ -80,6 +81,10 @@ class TvOutcome:
     #: being validated (see :mod:`repro.tv.dedup`); ``dedup_of`` names it.
     deduped: bool = False
     dedup_of: str = ""
+    #: campaign failure taxonomy bucket (one of
+    #: :data:`repro.keq.report.FAILURE_CLASSES`), ``None`` for outcomes
+    #: that are not failures (succeeded / unsupported / miscompiled).
+    failure_class: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -112,7 +117,14 @@ def validate_function(
         conflict_budget=options.keq.solver_conflict_budget, cache=cache
     )
 
-    def done(category: str, report=None, detail="", points=0) -> TvOutcome:
+    def done(
+        category: str, report=None, detail="", points=0, failure_class=None
+    ) -> TvOutcome:
+        if failure_class is None and category in (
+            Category.TIMEOUT,
+            Category.OOM,
+        ):
+            failure_class = category  # taxonomy names match these two
         return TvOutcome(
             function_name,
             category,
@@ -122,6 +134,7 @@ def validate_function(
             code_size=size,
             sync_points=points,
             solver_stats=solver.stats,
+            failure_class=failure_class,
         )
 
     # 1. Instruction selection + hint generation.
@@ -140,7 +153,11 @@ def validate_function(
             imprecise_liveness=options.imprecise_liveness,
         )
     except VcGenError as error:
-        return done(Category.OTHER, detail=str(error))
+        return done(
+            Category.OTHER,
+            detail=str(error),
+            failure_class=FAILURE_CLASS_INADEQUATE_SYNC,
+        )
     if (
         options.parser_memory_budget is not None
         and points.spec_size() > options.parser_memory_budget
@@ -170,6 +187,7 @@ def validate_function(
             report,
             detail="inadequate synchronization points",
             points=len(points),
+            failure_class=FAILURE_CLASS_INADEQUATE_SYNC,
         )
     if any(f.reason is FailureReason.UNSUPPORTED for f in report.failures):
         return done(Category.UNSUPPORTED, report, points=len(points))

@@ -40,6 +40,7 @@ from multiprocessing import connection as mp_connection
 from collections import deque
 from dataclasses import dataclass
 
+from repro.keq.report import FAILURE_CLASS_CRASH, FAILURE_CLASS_TIMEOUT
 from repro.llvm import ir
 from repro.tv.batch import BatchResult, run_batch
 from repro.tv.driver import Category, TvOptions, TvOutcome, validate_function
@@ -83,7 +84,10 @@ def _worker_main(conn, module_text, options, overrides, cache_dir, validate):
         _, index, name = message
         if module is None:
             outcome = TvOutcome(
-                name, Category.OTHER, detail=f"module re-parse failed:\n{detail}"
+                name,
+                Category.OTHER,
+                detail=f"module re-parse failed:\n{detail}",
+                failure_class=FAILURE_CLASS_CRASH,
             )
         else:
             try:
@@ -93,6 +97,7 @@ def _worker_main(conn, module_text, options, overrides, cache_dir, validate):
                     name,
                     Category.OTHER,
                     detail=traceback.format_exc(limit=12),
+                    failure_class=FAILURE_CLASS_CRASH,
                 )
         try:
             conn.send(("done", index, outcome))
@@ -106,7 +111,7 @@ class _Task:
     name: str
 
 
-class _Worker:
+class Worker:
     """One spawned worker process plus its duplex pipe and current task."""
 
     def __init__(self, ctx, module_text, options, overrides, cache_dir, validate):
@@ -159,7 +164,7 @@ class _Worker:
         self.process.close()
 
 
-def _hard_budget(
+def hard_budget(
     options: TvOptions | None,
     grace_factor: float = _GRACE_FACTOR,
     grace_slack: float = _GRACE_SLACK,
@@ -224,13 +229,13 @@ def run_batch_parallel(
 
     pending = deque(_Task(i, name) for i, name in enumerate(names))
     outcomes: dict[int, TvOutcome] = {}
-    workers: list[_Worker] = []
+    workers: list[Worker] = []
 
-    def spawn() -> _Worker:
-        return _Worker(ctx, module_text, options, overrides, cache_dir, validate)
+    def spawn() -> Worker:
+        return Worker(ctx, module_text, options, overrides, cache_dir, validate)
 
     def budget_for(task: _Task) -> float | None:
-        return _hard_budget(
+        return hard_budget(
             overrides.get(task.name, options), grace_factor, grace_slack
         )
 
@@ -254,8 +259,8 @@ def run_batch_parallel(
                 [w.conn for w in workers if w.task is not None],
                 timeout=_POLL_SECONDS,
             )
-            replacements: list[_Worker] = []
-            dead: list[_Worker] = []
+            replacements: list[Worker] = []
+            dead: list[Worker] = []
             for worker in workers:
                 if worker.task is None:
                     continue
@@ -271,6 +276,7 @@ def run_batch_parallel(
                             Category.OTHER,
                             detail=f"worker process died (exitcode={exitcode})",
                             seconds=time.perf_counter() - worker.started,
+                            failure_class=FAILURE_CLASS_CRASH,
                         )
                         dead.append(worker)
                         if pending:
@@ -288,6 +294,7 @@ def run_batch_parallel(
                         Category.TIMEOUT,
                         detail="hard wall-clock kill (worker unresponsive)",
                         seconds=time.perf_counter() - worker.started,
+                        failure_class=FAILURE_CLASS_TIMEOUT,
                     )
                     dead.append(worker)
                     if pending:

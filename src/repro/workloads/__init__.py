@@ -10,11 +10,17 @@ paper's failure taxonomy (timeout / OOM / inadequate-liveness).  See
 DESIGN.md, Section 2 for the substitution argument.
 """
 
-from repro.workloads.generator import FunctionShape, generate_function, generate_module
+from repro.workloads.generator import (
+    EXTERNAL_CALLEES,
+    FunctionShape,
+    generate_function,
+    generate_module,
+)
 from repro.workloads.corpus import CorpusSpec, FunctionSpec, gcc_like_corpus
 
 __all__ = [
     "CorpusSpec",
+    "EXTERNAL_CALLEES",
     "FunctionShape",
     "FunctionSpec",
     "gcc_like_corpus",

@@ -65,7 +65,13 @@ class _GenState:
         return ir.ConstInt(self.rng.randrange(0, 64), i32)
 
 
-_EXTERNAL_CALLEES = ("ext_helper", "ext_source", "ext_sink")
+#: Declared external boundary functions: calls to them are uninterpreted
+#: cut points on both semantics sides (see CallMarker), keyed on the name.
+#: Exported so corpus runners can tell the dedup fingerprint (see
+#: :func:`repro.tv.dedup.spec_fingerprint`) that these callees are *known*
+#: boundaries rather than missing bodies.
+EXTERNAL_CALLEES = ("ext_helper", "ext_source", "ext_sink")
+_EXTERNAL_CALLEES = EXTERNAL_CALLEES
 
 
 def generate_function(

@@ -247,3 +247,84 @@ class TestPersistentCache:
         third.store(goal, Result.SAT, 900)  # must not clobber cost 2
         fresh = QueryCache(cache_dir=directory)
         assert fresh.lookup(goal, 2) is Result.SAT
+
+
+class TestConcurrentWriters:
+    """The disk layer under concurrent campaign-shard workers: atomic
+    publication, no temp-file litter, torn/stale artefacts read as misses."""
+
+    def test_no_temp_files_left_after_stores(self, tmp_path):
+        directory = str(tmp_path / "qc")
+        cache = QueryCache(cache_dir=directory)
+        cache.store(_sat_query(), Result.SAT, 3)
+        cache.store(_unsat_query(), Result.UNSAT, 5)
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_stale_temp_file_is_ignored_and_overwritten_store_works(
+        self, tmp_path
+    ):
+        # A worker SIGKILLed mid-write leaves a private *.tmp behind; it
+        # must never satisfy a lookup, and later stores proceed normally.
+        directory = str(tmp_path / "qc")
+        cache = QueryCache(cache_dir=directory)
+        goal = _sat_query()
+        path = cache._path_for(cache.key_for(goal))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path + ".garbage.tmp", "w") as handle:
+            handle.write('{"result": "sat"')  # torn
+        assert cache.lookup(goal, None) is None
+        cache.store(goal, Result.SAT, 3)
+        fresh = QueryCache(cache_dir=directory)
+        assert fresh.lookup(goal, None) is Result.SAT
+
+    def test_parallel_writers_share_one_directory(self, tmp_path):
+        """Several processes hammer the same cache_dir — same key and
+        distinct keys — and every published entry must be whole."""
+        directory = str(tmp_path / "qc")
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.smt import QueryCache, Result, t
+
+            worker = int(sys.argv[1])
+            cache = QueryCache(cache_dir={directory!r})
+            shared = t.eq(
+                t.mul(t.bv_var("a", 16), t.bv_var("b", 16)),
+                t.bv_const(12345, 16),
+            )
+            private = t.eq(
+                t.bv_var("p", 16), t.bv_const(1000 + worker, 16)
+            )
+            for _ in range(25):
+                cache.store(shared, Result.SAT, 3 + worker)
+                cache.store(private, Result.SAT, worker)
+            print("writer done")
+            """
+        ).format(directory=directory)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(worker)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            for worker in range(4)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert "writer done" in out
+        # No torn temp files anywhere, and every entry reads back whole.
+        assert list(tmp_path.rglob("*.tmp")) == []
+        fresh = QueryCache(cache_dir=directory)
+        assert fresh.lookup(_sat_query(), None) is Result.SAT
+        for worker in range(4):
+            goal = t.eq(
+                t.bv_var("p", 16), t.bv_const(1000 + worker, 16)
+            )
+            assert fresh.lookup(goal, None) is Result.SAT

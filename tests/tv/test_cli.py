@@ -94,14 +94,14 @@ class TestShow:
 
 class TestCampaign:
     def test_small_campaign_runs(self, capsys):
-        assert main(["campaign", "--scale", "6", "--seed", "11"]) == 0
+        assert main(["campaign", "run", "--scale", "6", "--seed", "11"]) == 0
         out = capsys.readouterr().out
         assert "Succeeded" in out
 
     def test_campaign_jobs_and_cache_dir_flags(self, tmp_path, capsys):
         directory = str(tmp_path / "qc")
         argv = [
-            "campaign", "--scale", "6", "--seed", "11",
+            "campaign", "run", "--scale", "6", "--seed", "11",
             "--jobs", "2", "--cache-dir", directory,
         ]
         assert main(argv) == 0
@@ -113,3 +113,24 @@ class TestCampaign:
         assert main(argv) == 0
         warm = capsys.readouterr().out
         assert "cache_hits=0 " not in warm
+
+    def test_campaign_dir_run_and_status(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        argv = [
+            "campaign", "run", "--scale", "6", "--seed", "11",
+            "--dir", directory, "--shards", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "functions accounted (complete)" in out
+        assert "shard 0:" in out and "shard 1:" in out
+        assert main(["campaign", "status", directory]) == 0
+        status = capsys.readouterr().out
+        assert "campaign status: complete" in status
+        # A second run into the same directory is refused.
+        with pytest.raises(SystemExit):
+            main(argv)
+
+    def test_campaign_resume_without_manifest_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "resume", str(tmp_path / "nope")])

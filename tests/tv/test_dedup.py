@@ -103,6 +103,120 @@ class TestSpecFingerprint:
         assert spec_fingerprint(module, "caller", TvOptions()) is None
 
 
+CALLS_LL = """
+define i32 @helper(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  ret i32 %a
+}
+define i32 @shouty(i32 %x) {
+entry:
+  %a = sub i32 %x, 1
+  ret i32 %a
+}
+define i32 @caller_one(i32 %x) {
+entry:
+  %r = call i32 @helper(i32 %x)
+  %s = add i32 %r, 2
+  ret i32 %s
+}
+define i32 @caller_two(i32 %x) {
+entry:
+  %r = call i32 @helper(i32 %x)
+  %s = add i32 %r, 2
+  ret i32 %s
+}
+define i32 @caller_three(i32 %x) {
+entry:
+  %r = call i32 @shouty(i32 %x)
+  %s = add i32 %r, 2
+  ret i32 %s
+}
+define i32 @caller_ghost(i32 %x) {
+entry:
+  %r = call i32 @ghost(i32 %x)
+  %s = add i32 %r, 2
+  ret i32 %s
+}
+"""
+
+
+class TestCalleeRegion:
+    """Fingerprints extended over the reachable defined-callee region."""
+
+    def _module(self):
+        from repro.llvm import parse_module
+
+        return parse_module(CALLS_LL)
+
+    def test_same_callee_body_shares_fingerprint(self):
+        """caller_one/caller_two differ only in their own (canonicalised)
+        name; the shared helper body folds into one region hash.  (SSA
+        value names must coincide: sync-point payloads carry bare names,
+        the corpus-generator caveat in the module docstring.)"""
+        module = self._module()
+        base = TvOptions()
+        one = spec_fingerprint(module, "caller_one", base)
+        two = spec_fingerprint(module, "caller_two", base)
+        assert one is not None
+        assert one == two
+
+    def test_different_callee_body_splits_fingerprint(self):
+        """caller_three is textually caller_one modulo names, but its
+        callee computes sub instead of add — the region hash must differ."""
+        module = self._module()
+        base = TvOptions()
+        assert spec_fingerprint(module, "caller_one", base) != spec_fingerprint(
+            module, "caller_three", base
+        )
+
+    def test_missing_callee_disables_dedup(self):
+        module = self._module()
+        assert spec_fingerprint(module, "caller_ghost", TvOptions()) is None
+
+    def test_declared_external_boundary_enables_dedup(self):
+        module = self._module()
+        fingerprint = spec_fingerprint(
+            module,
+            "caller_ghost",
+            TvOptions(),
+            known_externals=frozenset({"ghost"}),
+        )
+        assert fingerprint is not None
+
+    def test_corpus_external_calls_dedup_with_known_externals(self):
+        from repro.workloads import EXTERNAL_CALLEES
+
+        shape = dataclasses.replace(LOOPY, calls=1)
+        corpus = CorpusSpec(
+            functions=[
+                FunctionSpec("call_a", shape, seed=3, expect="succeeded"),
+                FunctionSpec("call_b", shape, seed=3, expect="succeeded"),
+            ]
+        )
+        module = corpus.build_module()
+        plan = plan_dedup(
+            module,
+            list(module.functions),
+            TvOptions(),
+            known_externals=frozenset(EXTERNAL_CALLEES),
+        )
+        assert plan.replay == {"call_b": "call_a"}
+
+    def test_corpus_external_calls_conservative_by_default(self):
+        shape = dataclasses.replace(LOOPY, calls=1)
+        corpus = CorpusSpec(
+            functions=[
+                FunctionSpec("call_a", shape, seed=3, expect="succeeded"),
+                FunctionSpec("call_b", shape, seed=3, expect="succeeded"),
+            ]
+        )
+        module = corpus.build_module()
+        plan = plan_dedup(module, list(module.functions), TvOptions())
+        assert plan.replay == {}
+        assert plan.run_names == ["call_a", "call_b"]
+
+
 class TestPlanDedup:
     def test_representatives_and_replay(self):
         corpus = clone_corpus()
