@@ -1,0 +1,161 @@
+"""Experiment: distributed-service throughput scaling.
+
+The coordinator/worker service (:mod:`repro.service`) exists to spread a
+campaign across hosts.  This benchmark measures orchestration scaling on
+one box: the same campaign driven (a) by the sequential single-host
+supervisor, (b) by the service with one worker client, and (c) by the
+service with two worker clients.
+
+On a one-core CI box, CPU-bound validation cannot speed up with more
+workers — any measured "scaling" would be noise.  The benchmark therefore
+injects :func:`repro.campaign.hooks.sleepy_validate`, a fixed-delay
+sleep-bound hook, so the measured quantity is the orchestration layer's
+ability to overlap work (leases, protocol round-trips, journal writes),
+not solver throughput.  Dedup is disabled so the unit count is exact and
+identical in every mode.
+
+Asserted shape: two workers beat both the sequential run and the
+one-worker service run by ≥1.3x (perfect overlap would be 2.0x; protocol
+and journal serialization eat some of it).  Numbers land in
+``BENCH_service.json``.
+"""
+
+import threading
+import time
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.campaign.hooks import SLEEP_ENV, sleepy_validate
+from repro.service import (
+    ServiceConfig,
+    ServiceWorker,
+    WorkerConfig,
+    serve_campaign,
+)
+
+SCALE = 16
+SEED = 2021
+SLEEP_SECONDS = 0.25
+
+
+def _config(**overrides):
+    settings = dict(
+        scale=SCALE,
+        seed=SEED,
+        shards=2,
+        jobs=1,
+        wall_budget=30.0,
+        dedup=False,  # exact, mode-independent unit count
+        backoff_seconds=0.05,
+        validate=sleepy_validate,
+    )
+    settings.update(overrides)
+    return CampaignConfig(**settings)
+
+
+def _run_service(directory, worker_count):
+    bound = {}
+    ready = threading.Event()
+    result = {}
+
+    def on_bound(address):
+        bound["address"] = f"{address[0]}:{address[1]}"
+        ready.set()
+
+    def coordinate():
+        result["report"] = serve_campaign(
+            directory,
+            _config(),
+            ServiceConfig(
+                lease_seconds=60.0,
+                heartbeat_seconds=1.0,
+                drain_grace_seconds=0.2,
+            ),
+            on_bound=on_bound,
+        )
+
+    coordinator = threading.Thread(target=coordinate, daemon=True)
+    coordinator.start()
+    assert ready.wait(30)
+
+    def work(index):
+        ServiceWorker(
+            WorkerConfig(
+                connect=bound["address"],
+                worker_id=f"bench-w{index}",
+                jobs=1,
+                validate=sleepy_validate,
+            )
+        ).run()
+
+    workers = [
+        threading.Thread(target=work, args=(i,), daemon=True)
+        for i in range(worker_count)
+    ]
+    started = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=300)
+    coordinator.join(timeout=60)
+    elapsed = time.perf_counter() - started
+    return result["report"], elapsed
+
+
+def test_bench_service_scaling(tmp_path_factory, bench_json, monkeypatch):
+    monkeypatch.setenv(SLEEP_ENV, str(SLEEP_SECONDS))
+
+    seq_dir = str(tmp_path_factory.mktemp("bench-seq"))
+    started = time.perf_counter()
+    sequential = run_campaign(seq_dir, _config())
+    t_sequential = time.perf_counter() - started
+
+    one_dir = str(tmp_path_factory.mktemp("bench-1w"))
+    one_report, t_one = _run_service(one_dir, 1)
+
+    two_dir = str(tmp_path_factory.mktemp("bench-2w"))
+    two_report, t_two = _run_service(two_dir, 2)
+
+    assert sequential.complete and one_report.complete and two_report.complete
+    # Same campaign in every mode: the reports agree byte for byte.
+    reference = sequential.summary(include_timing=False)
+    assert one_report.summary(include_timing=False) == reference
+    assert two_report.summary(include_timing=False) == reference
+    assert one_report.function_table() == sequential.function_table()
+    assert two_report.function_table() == sequential.function_table()
+
+    units = len(sequential.batch.outcomes)
+    floor = units * SLEEP_SECONDS  # pure sleep time, zero orchestration
+    seq_vs_two = t_sequential / t_two
+    one_vs_two = t_one / t_two
+
+    print(f"\nservice scaling ({units} units x {SLEEP_SECONDS}s sleep):")
+    print(f"  sleep floor:          {floor:.2f}s")
+    print(f"  sequential supervisor: {t_sequential:.2f}s")
+    print(f"  service, 1 worker:     {t_one:.2f}s")
+    print(
+        f"  service, 2 workers:    {t_two:.2f}s"
+        f" ({seq_vs_two:.2f}x vs sequential, {one_vs_two:.2f}x vs 1 worker)"
+    )
+
+    bench_json(
+        "service",
+        {
+            "scale": SCALE,
+            "units": units,
+            "sleep_seconds": SLEEP_SECONDS,
+            "sleep_floor_seconds": round(floor, 3),
+            "wall_seconds": {
+                "sequential": round(t_sequential, 3),
+                "service_1_worker": round(t_one, 3),
+                "service_2_workers": round(t_two, 3),
+            },
+            "speedup_2w_vs_sequential": round(seq_vs_two, 3),
+            "speedup_2w_vs_1w": round(one_vs_two, 3),
+            "reports_identical": True,
+        },
+    )
+
+    # Orchestration must overlap sleep-bound units: two workers beat one
+    # worker and the sequential supervisor by a clear margin.
+    assert seq_vs_two >= 1.3, f"2-worker service only {seq_vs_two:.2f}x"
+    assert one_vs_two >= 1.3, f"2 workers vs 1 only {one_vs_two:.2f}x"

@@ -42,7 +42,11 @@ from repro.campaign.supervisor import (
     CampaignConfig,
     CampaignError,
     CampaignInterrupted,
+    Job,
+    PreparedCampaign,
     campaign_status,
+    prepare_campaign,
+    prepare_resume,
     resume_campaign,
     run_campaign,
 )
@@ -52,11 +56,15 @@ __all__ = [
     "CampaignError",
     "CampaignInterrupted",
     "CampaignReport",
+    "Job",
     "Journal",
     "JournalState",
+    "PreparedCampaign",
     "ShardItem",
     "ShardPlan",
     "campaign_status",
+    "prepare_campaign",
+    "prepare_resume",
     "load_manifest",
     "load_state",
     "merge_campaign",

@@ -20,8 +20,19 @@ Two files live in a campaign directory:
       back on its shard queue after a backoff delay;
     - ``quarantine`` — the function killed a worker ``max_kills`` times
       (poison pill) and is excluded from further scheduling;
+    - ``duplicate``  — a result arrived for a function that already has a
+      ``done`` entry (e.g. a lease expired, the unit was re-run elsewhere,
+      and the presumed-dead worker's answer surfaced after all); the
+      original outcome stands (*first write wins*) and the duplicate is
+      only tallied;
     - ``halt``       — the supervisor stopped deliberately
       (``halt_on_worker_death``), leaving in-flight work to ``resume``.
+
+    Events written by the distributed service (:mod:`repro.service`) carry
+    ``worker`` and ``host`` tags naming the worker client that held the
+    lease; the loader ignores them for state reconstruction — they exist
+    for forensics and the per-worker accounting in ``status`` — so
+    single-host and multi-host journals merge through the same code path.
 
 A function's *kill count* tallies only **observed worker deaths**: a
 ``requeue`` carrying ``death: true`` (the supervisor watched the worker
@@ -38,9 +49,9 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 
+from repro.fsio import atomic_publish
 from repro.smt import QueryStats
 from repro.tv.driver import TvOutcome
 
@@ -125,23 +136,14 @@ def journal_path(directory: str) -> str:
 
 
 def write_manifest(directory: str, manifest: dict) -> None:
-    """Atomically publish the manifest (readers see all of it or none)."""
+    """Atomically and durably publish the manifest (readers see all of it
+    or none, and the publication survives power loss — see
+    :func:`repro.fsio.atomic_publish`)."""
     os.makedirs(directory, exist_ok=True)
-    path = manifest_path(directory)
-    handle = tempfile.NamedTemporaryFile(
-        "w", dir=directory, suffix=".tmp", delete=False
+    atomic_publish(
+        manifest_path(directory),
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
     )
-    try:
-        with handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(handle.name, path)
-    except OSError:
-        try:
-            os.unlink(handle.name)
-        except OSError:
-            pass
-        raise
 
 
 def load_manifest(directory: str) -> dict:
@@ -225,7 +227,10 @@ class FunctionLedger:
     #: observed worker deaths charged to this function (death-flagged
     #: requeues and halts naming it) — NOT bare interrupted starts.
     deaths: int = 0
-    outcome: dict | None = None  # last done outcome payload
+    #: results that arrived after an outcome was already recorded
+    #: (explicit ``duplicate`` events plus redundant ``done`` lines).
+    duplicates: int = 0
+    outcome: dict | None = None  # FIRST done outcome payload (idempotent)
     quarantined: str | None = None  # quarantine reason, if any
     shard: int | None = None
 
@@ -253,6 +258,21 @@ class JournalState:
 
     ledgers: dict[str, FunctionLedger] = field(default_factory=dict)
     halts: int = 0
+
+    @property
+    def retries(self) -> int:
+        """Total re-queue events (lease expiries + worker-death retries)."""
+        return sum(l.requeues for l in self.ledgers.values())
+
+    @property
+    def worker_deaths(self) -> int:
+        """Total observed worker deaths charged across all functions."""
+        return sum(l.deaths for l in self.ledgers.values())
+
+    @property
+    def duplicates(self) -> int:
+        """Total duplicate results rejected by first-write-wins acceptance."""
+        return sum(l.duplicates for l in self.ledgers.values())
 
     def ledger(self, name: str) -> FunctionLedger:
         entry = self.ledgers.get(name)
@@ -306,7 +326,16 @@ def load_state(directory: str) -> JournalState:
             ledger.starts += 1
         elif kind == "done":
             ledger.dones += 1
-            ledger.outcome = event.get("outcome")
+            if ledger.outcome is None:
+                ledger.outcome = event.get("outcome")
+            else:
+                # Idempotent acceptance: the first recorded outcome stands
+                # (validation is deterministic, so duplicates agree; if a
+                # corrupted journal disagrees, first-write-wins at least
+                # keeps every reader consistent).
+                ledger.duplicates += 1
+        elif kind == "duplicate":
+            ledger.duplicates += 1
         elif kind == "requeue":
             ledger.requeues += 1
             if event.get("death"):

@@ -188,6 +188,12 @@ class CampaignStatus:
     halts: int
     failure_counts: Counter
     shards: list[ShardSummary]
+    #: total re-queue events (lease expiries + worker-death retries).
+    retries: int = 0
+    #: observed worker deaths charged across all functions.
+    worker_deaths: int = 0
+    #: duplicate results dropped by first-write-wins acceptance.
+    duplicates: int = 0
 
     @property
     def complete(self) -> bool:
@@ -209,6 +215,10 @@ class CampaignStatus:
                 f"{name}={self.failure_counts[name]}"
                 for name in FAILURE_CLASSES
             ),
+            f"retries: requeues={self.retries}"
+            f" worker-deaths={self.worker_deaths}"
+            f" duplicate-results={self.duplicates}"
+            f" quarantined={self.quarantined}",
         ]
         if self.halts:
             lines.append(f"halts: {self.halts}")
@@ -239,4 +249,7 @@ def build_status(manifest: dict, state: JournalState) -> CampaignStatus:
         halts=state.halts,
         failure_counts=report.failure_counts,
         shards=report.shards,
+        retries=state.retries,
+        worker_deaths=state.worker_deaths,
+        duplicates=state.duplicates,
     )

@@ -125,7 +125,7 @@ def _resolve_validate(reference: str | None):
 
 
 @dataclass
-class _Job:
+class Job:
     """One scheduled validation attempt (Worker.assign reads index/name)."""
 
     index: int
@@ -135,17 +135,42 @@ class _Job:
     not_before: float = 0.0
 
 
-def run_campaign(
+@dataclass
+class PreparedCampaign:
+    """Everything a driver — the in-process pool or the network
+    coordinator (:mod:`repro.service`) — needs to run a campaign: the
+    published manifest, the module as spawn-safe text, resolved options,
+    the pending job list, and the journal-derived kill counts."""
+
+    directory: str
+    manifest: dict
+    module_text: str
+    base: TvOptions
+    overrides: dict[str, TvOptions]
+    jobs: list[Job]
+    kills: dict[str, int]
+    validate: object | None
+
+    @property
+    def cache_dir(self) -> str:
+        return self.manifest["cache_dir"]
+
+    @property
+    def max_kills(self) -> int:
+        return self.manifest["max_kills"]
+
+    @property
+    def backoff_seconds(self) -> float:
+        return self.manifest["backoff_seconds"]
+
+
+def prepare_campaign(
     directory: str,
     config: CampaignConfig | None = None,
     corpus=None,
-) -> CampaignReport:
-    """Start a fresh campaign in ``directory`` and drive it to completion.
-
-    ``corpus`` defaults to :func:`gcc_like_corpus` at the config's
-    scale/seed (the resumable case); a custom corpus is accepted but must
-    be passed to ``resume_campaign`` again after a crash.
-    """
+) -> PreparedCampaign:
+    """Plan a fresh campaign: build (or take) the corpus, run dedup and
+    sharding, publish the manifest, and return the full job list."""
     config = config or CampaignConfig()
     if os.path.exists(manifest_path(directory)):
         raise CampaignError(
@@ -209,7 +234,7 @@ def run_campaign(
     }
     write_manifest(directory, manifest)
     jobs = [
-        _Job(index, name, shard_plan.shard_of(name), attempt=1)
+        Job(index, name, shard_plan.shard_of(name), attempt=1)
         for index, name in enumerate(
             name
             for shard in shard_plan.shards
@@ -217,31 +242,33 @@ def run_campaign(
             if name in run_set
         )
     ]
-    with Journal(directory) as journal:
-        _drive(
-            journal=journal,
-            jobs=jobs,
-            kills={},
-            module_text=str(module),
-            base=base,
-            overrides=overrides,
-            cache_dir=cache_dir,
-            validate=config.validate,
-            pool_size=config.jobs,
-            max_kills=config.max_kills,
-            backoff_seconds=config.backoff_seconds,
-            halt_on_worker_death=config.halt_on_worker_death,
-        )
-    return merge_campaign(manifest, load_state(directory))
+    return PreparedCampaign(
+        directory=directory,
+        manifest=manifest,
+        module_text=str(module),
+        base=base,
+        overrides=overrides,
+        jobs=jobs,
+        kills={},
+        validate=config.validate,
+    )
 
 
-def resume_campaign(
+def prepare_resume(
     directory: str,
     corpus=None,
     validate=None,
-) -> CampaignReport:
-    """Resume a crashed or halted campaign: skip completed work, re-queue
-    in-flight functions exactly once, finish, and merge."""
+) -> tuple[PreparedCampaign, list[dict]]:
+    """Plan the continuation of a crashed or halted campaign.
+
+    Returns the prepared plan (completed and quarantined work excluded,
+    attempt counters continued from the journal) plus the *recovery
+    events* — one ``requeue`` per orphaned in-flight function, or a
+    ``quarantine`` if its journal-derived kill count already crossed the
+    poison-pill threshold — which the caller must append to the journal
+    before driving the jobs, so the re-queue happens exactly once even if
+    the resuming process itself crashes.
+    """
     try:
         manifest = load_manifest(directory)
     except OSError as error:
@@ -269,66 +296,122 @@ def resume_campaign(
     kills = {
         name: ledger.kills for name, ledger in state.ledgers.items()
     }
-    with Journal(directory) as journal:
-        quarantined_now: set[str] = set()
-        for orphan in state.orphans():
-            attempt = state.ledger(orphan).starts
-            if kills.get(orphan, 0) >= max_kills:
-                journal.append(
-                    {
-                        "event": "quarantine",
-                        "fn": orphan,
-                        "shard": assignment.get(orphan),
-                        "attempt": attempt,
-                        "reason": (
-                            f"poison pill: {kills[orphan]} worker deaths"
-                            " without an outcome"
-                        ),
-                    }
-                )
-                quarantined_now.add(orphan)
-            else:
-                journal.append(
-                    {
-                        "event": "requeue",
-                        "fn": orphan,
-                        "shard": assignment.get(orphan),
-                        "attempt": attempt,
-                        "reason": "in flight at supervisor crash/halt",
-                        "delay": 0.0,
-                    }
-                )
-        completed = state.completed
-        quarantined = set(state.quarantined) | quarantined_now
-        jobs = []
-        for index, name in enumerate(
-            name
-            for shard in manifest["shard_lists"]
-            for name in shard
-            if name in set(run_names)
-            and name not in completed
-            and name not in quarantined
-        ):
-            jobs.append(
-                _Job(
-                    index,
-                    name,
-                    assignment[name],
-                    attempt=state.ledger(name).starts + 1,
-                )
+    recovery: list[dict] = []
+    quarantined_now: set[str] = set()
+    for orphan in state.orphans():
+        attempt = state.ledger(orphan).starts
+        if kills.get(orphan, 0) >= max_kills:
+            recovery.append(
+                {
+                    "event": "quarantine",
+                    "fn": orphan,
+                    "shard": assignment.get(orphan),
+                    "attempt": attempt,
+                    "reason": (
+                        f"poison pill: {kills[orphan]} worker deaths"
+                        " without an outcome"
+                    ),
+                }
             )
+            quarantined_now.add(orphan)
+        else:
+            recovery.append(
+                {
+                    "event": "requeue",
+                    "fn": orphan,
+                    "shard": assignment.get(orphan),
+                    "attempt": attempt,
+                    "reason": "in flight at supervisor crash/halt",
+                    "delay": 0.0,
+                }
+            )
+    completed = state.completed
+    quarantined = set(state.quarantined) | quarantined_now
+    jobs = []
+    for index, name in enumerate(
+        name
+        for shard in manifest["shard_lists"]
+        for name in shard
+        if name in set(run_names)
+        and name not in completed
+        and name not in quarantined
+    ):
+        jobs.append(
+            Job(
+                index,
+                name,
+                assignment[name],
+                attempt=state.ledger(name).starts + 1,
+            )
+        )
+    prepared = PreparedCampaign(
+        directory=directory,
+        manifest=manifest,
+        module_text=str(module),
+        base=base,
+        overrides=overrides,
+        jobs=jobs,
+        kills=kills,
+        validate=validate,
+    )
+    return prepared, recovery
+
+
+def run_campaign(
+    directory: str,
+    config: CampaignConfig | None = None,
+    corpus=None,
+) -> CampaignReport:
+    """Start a fresh campaign in ``directory`` and drive it to completion.
+
+    ``corpus`` defaults to :func:`gcc_like_corpus` at the config's
+    scale/seed (the resumable case); a custom corpus is accepted but must
+    be passed to ``resume_campaign`` again after a crash.
+    """
+    config = config or CampaignConfig()
+    prepared = prepare_campaign(directory, config, corpus)
+    with Journal(directory) as journal:
         _drive(
             journal=journal,
-            jobs=jobs,
-            kills=kills,
-            module_text=str(module),
-            base=base,
-            overrides=overrides,
-            cache_dir=manifest["cache_dir"],
-            validate=validate,
+            jobs=prepared.jobs,
+            kills=prepared.kills,
+            module_text=prepared.module_text,
+            base=prepared.base,
+            overrides=prepared.overrides,
+            cache_dir=prepared.cache_dir,
+            validate=prepared.validate,
+            pool_size=config.jobs,
+            max_kills=config.max_kills,
+            backoff_seconds=config.backoff_seconds,
+            halt_on_worker_death=config.halt_on_worker_death,
+        )
+    return merge_campaign(prepared.manifest, load_state(directory))
+
+
+def resume_campaign(
+    directory: str,
+    corpus=None,
+    validate=None,
+) -> CampaignReport:
+    """Resume a crashed or halted campaign: skip completed work, re-queue
+    in-flight functions exactly once, finish, and merge."""
+    prepared, recovery = prepare_resume(directory, corpus, validate)
+    manifest = prepared.manifest
+    with Journal(directory) as journal:
+        for event in recovery:
+            journal.append(event)
+        _drive(
+            journal=journal,
+            jobs=prepared.jobs,
+            kills=prepared.kills,
+            module_text=prepared.module_text,
+            base=prepared.base,
+            overrides=prepared.overrides,
+            cache_dir=prepared.cache_dir,
+            validate=prepared.validate,
             pool_size=manifest["jobs"],
-            max_kills=max_kills,
-            backoff_seconds=manifest["backoff_seconds"],
+            max_kills=prepared.max_kills,
+            backoff_seconds=prepared.backoff_seconds,
             halt_on_worker_death=manifest["halt_on_worker_death"],
         )
     return merge_campaign(manifest, load_state(directory))
@@ -345,7 +428,7 @@ def campaign_status(directory: str) -> CampaignStatus:
 
 def _drive(
     journal: Journal,
-    jobs: list[_Job],
+    jobs: list[Job],
     kills: dict[str, int],
     module_text: str,
     base: TvOptions,
@@ -380,7 +463,7 @@ def _drive(
 
     #: per-shard queues, drained round-robin so every shard progresses.
     shard_ids = sorted({job.shard for job in jobs})
-    queues: dict[int, deque[_Job]] = {shard: deque() for shard in shard_ids}
+    queues: dict[int, deque[Job]] = {shard: deque() for shard in shard_ids}
     for job in jobs:
         queues[job.shard].append(job)
     unresolved = {job.name for job in jobs}
@@ -391,7 +474,7 @@ def _drive(
     def spawn() -> Worker:
         return Worker(ctx, module_text, base, overrides, cache_dir, validate)
 
-    def next_ready(now: float) -> _Job | None:
+    def next_ready(now: float) -> Job | None:
         nonlocal rotation
         for offset in range(len(shard_ids)):
             shard = shard_ids[(rotation + offset) % len(shard_ids)]
@@ -401,7 +484,7 @@ def _drive(
                 return queue.popleft()
         return None
 
-    def journal_event(kind: str, job: _Job, **extra) -> None:
+    def journal_event(kind: str, job: Job, **extra) -> None:
         journal.append(
             {
                 "event": kind,
@@ -412,11 +495,11 @@ def _drive(
             }
         )
 
-    def record_done(job: _Job, outcome: TvOutcome) -> None:
+    def record_done(job: Job, outcome: TvOutcome) -> None:
         journal_event("done", job, outcome=outcome_to_json(outcome))
         unresolved.discard(job.name)
 
-    def on_worker_death(job: _Job, detail: str) -> None:
+    def on_worker_death(job: Job, detail: str) -> None:
         nonlocal next_index
         kills[job.name] = kills.get(job.name, 0) + 1
         if halt_on_worker_death:
@@ -446,7 +529,7 @@ def _drive(
             return
         delay = backoff_seconds * (2 ** (kills[job.name] - 1))
         journal_event("requeue", job, reason=detail, delay=delay, death=True)
-        retry = _Job(
+        retry = Job(
             index=next_index,
             name=job.name,
             shard=job.shard,

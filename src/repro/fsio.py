@@ -1,0 +1,68 @@
+"""Crash-durable filesystem publication (shared by journal and cache).
+
+``os.replace`` makes a publication *atomic* — readers see the whole new
+file or the whole old one — but not *durable*: after a power loss the
+rename itself may be rolled back unless the containing directory's entry
+is flushed.  POSIX requires an ``fsync`` of the file (so the bytes the
+name will point at are on disk *before* the rename) and then of the
+directory (so the rename is).  :func:`atomic_publish` bundles the whole
+sequence; the campaign manifest (:mod:`repro.campaign.journal`) and the
+persistent query cache (:mod:`repro.smt.cache`) both publish through it,
+so a campaign that survives a crash also survives the machine losing
+power at the wrong moment.
+
+The temp file is created in the *target's* directory (``os.replace``
+must not cross filesystems) with a unique name, so concurrent writers
+never collide, and it is unlinked on any failure so crashes cannot
+litter the store with ``.tmp`` orphans.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def fsync_dir(directory: str) -> None:
+    """Flush a directory's entries to disk; best-effort on filesystems
+    (or platforms) whose directories cannot be opened or synced."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_publish(path: str, text: str) -> None:
+    """Durably publish ``text`` at ``path``: temp file in the same
+    directory, fsync(file), ``os.replace``, fsync(directory).
+
+    Raises ``OSError`` on failure (after removing the temp file); callers
+    that must degrade gracefully — e.g. a read-only shared cache mount —
+    wrap the call.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=directory, suffix=".tmp", delete=False
+    )
+    temp_name = handle.name
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+        temp_name = None
+        fsync_dir(directory)
+    finally:
+        if temp_name is not None:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass

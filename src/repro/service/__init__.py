@@ -1,0 +1,49 @@
+"""Distributed validation service: coordinator + worker clients.
+
+A campaign directory is still the unit of truth — this package only
+changes *who drives it*.  The coordinator (:mod:`.coordinator`) plans the
+campaign with the exact machinery the single-host supervisor uses and
+serves work units over a length-prefixed JSON/TCP protocol
+(:mod:`.protocol`); worker clients (:mod:`.worker`) lease units under
+heartbeat-renewed leases (:mod:`.leases`), validate them with the same
+spawn-safe subprocesses, and stream outcomes back.  Every transition is
+journaled, so ``repro campaign status``/``resume`` and the deterministic
+merger treat a service-run directory exactly like a local one.
+"""
+
+from repro.service.coordinator import (
+    Coordinator,
+    ServiceConfig,
+    query_status,
+    serve_campaign,
+)
+from repro.service.leases import Lease, LeaseTable
+from repro.service.protocol import (
+    MessageChannel,
+    ProtocolError,
+    connect,
+    parse_address,
+)
+from repro.service.worker import (
+    ServiceWorker,
+    WorkerConfig,
+    WorkerSummary,
+    run_worker,
+)
+
+__all__ = [
+    "Coordinator",
+    "Lease",
+    "LeaseTable",
+    "MessageChannel",
+    "ProtocolError",
+    "ServiceConfig",
+    "ServiceWorker",
+    "WorkerConfig",
+    "WorkerSummary",
+    "connect",
+    "parse_address",
+    "query_status",
+    "run_worker",
+    "serve_campaign",
+]

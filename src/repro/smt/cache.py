@@ -48,10 +48,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.fsio import atomic_publish
 from repro.smt.printer import canonical
 from repro.smt.solver import Result
 from repro.smt.terms import Term
@@ -187,38 +187,27 @@ class QueryCache:
         return result, cost
 
     def _disk_write(self, key: str, result: Result, cost: int) -> None:
-        """Publish an entry atomically (temp file + ``os.replace``).
+        """Publish an entry atomically and durably (see
+        :func:`repro.fsio.atomic_publish`).
 
-        Concurrent shard workers share one ``cache_dir``; the temp file is
-        private (``NamedTemporaryFile`` names are unique) and the rename is
-        atomic, so a reader only ever sees a complete entry or none —
-        never a torn one.  Two workers racing the same key both publish a
-        whole file and the later rename wins, which is sound either way
-        (both hold decided results for the same canonical query).  On any
-        failure the temp file is removed so crashes cannot litter the
-        store with ``.tmp`` orphans that a quota would count.
+        Concurrent shard workers — possibly on several hosts sharing the
+        ``cache_dir`` over a network mount — each publish a private temp
+        file and an atomic rename, so a reader only ever sees a complete
+        entry or none, never a torn one.  Two workers racing the same key
+        both publish a whole file and the later rename wins, which is
+        sound either way (both hold decided results for the same
+        canonical query).  The file and its directory entry are fsynced
+        so a published entry survives power loss; temp files are removed
+        on any failure so crashes cannot litter the store with ``.tmp``
+        orphans that a quota would count.
         """
         path = self._path_for(key)
         existing = self._disk_read(key)
         if existing is not None and existing[1] <= cost:
             return  # the stored entry is at least as reusable
-        directory = os.path.dirname(path)
-        temp_name = None
         try:
-            os.makedirs(directory, exist_ok=True)
-            handle = tempfile.NamedTemporaryFile(
-                "w", dir=directory, suffix=".tmp", delete=False
+            atomic_publish(
+                path, json.dumps({"result": result.value, "cost": cost})
             )
-            temp_name = handle.name
-            with handle:
-                json.dump({"result": result.value, "cost": cost}, handle)
-            os.replace(temp_name, path)
-            temp_name = None
         except OSError:
             pass  # a read-only or full cache directory degrades to no-op
-        finally:
-            if temp_name is not None:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass

@@ -1,0 +1,81 @@
+"""Durable-publication helper: atomicity, cleanup, degradation."""
+
+import os
+
+import pytest
+
+from repro.fsio import atomic_publish, fsync_dir
+
+
+class TestAtomicPublish:
+    def test_creates_file_and_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "file.json"
+        atomic_publish(str(target), '{"x": 1}')
+        assert target.read_text() == '{"x": 1}'
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "file.json"
+        atomic_publish(str(target), "old")
+        atomic_publish(str(target), "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_publish(str(tmp_path / "file.json"), "data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["file.json"]
+
+    def test_failed_replace_cleans_temp_and_raises(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "file.json"
+        atomic_publish(str(target), "old")
+
+        def broken_replace(src, dst):
+            raise OSError("injected rename failure")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError, match="injected"):
+            atomic_publish(str(target), "new")
+        monkeypatch.undo()
+        # The old content survives and no temp file is left behind.
+        assert target.read_text() == "old"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["file.json"]
+
+    def test_relative_path_in_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        atomic_publish("plain.txt", "data")
+        assert (tmp_path / "plain.txt").read_text() == "data"
+
+
+class TestFsyncDir:
+    def test_missing_directory_is_best_effort(self, tmp_path):
+        fsync_dir(str(tmp_path / "nope"))  # must not raise
+
+    def test_real_directory_syncs(self, tmp_path):
+        fsync_dir(str(tmp_path))  # must not raise
+
+
+class TestPublishers:
+    """The two call sites publish through atomic_publish."""
+
+    def test_manifest_publication_leaves_no_temp(self, tmp_path):
+        from repro.campaign.journal import load_manifest, write_manifest
+
+        manifest = {"version": 1, "functions": ["a"]}
+        write_manifest(str(tmp_path), manifest)
+        assert load_manifest(str(tmp_path)) == manifest
+        assert not [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+
+    def test_cache_write_degrades_on_failure(self, tmp_path, monkeypatch):
+        """A read-only cache mount must not break validation: the disk
+        write becomes a no-op and the in-memory cache still serves."""
+        from repro.smt import QueryCache, Result, Solver, t
+
+        def broken(path, text):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr("repro.smt.cache.atomic_publish", broken)
+        cache = QueryCache(cache_dir=str(tmp_path / "cache"))
+        query = t.ult(t.bv_var("a", 8), t.bv_const(3, 8))
+        assert Solver(cache=cache).check_sat(query) is Result.SAT
+        assert Solver(cache=cache).check_sat(query) is Result.SAT
+        assert not list((tmp_path / "cache").glob("**/*.tmp"))

@@ -1,0 +1,172 @@
+"""Framing-layer tests: roundtrips, torn frames, EOF vs corruption."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    MessageChannel,
+    ProtocolError,
+    parse_address,
+    recv_message,
+    send_message,
+)
+
+
+def pair():
+    return socket.socketpair()
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.1.2.3:7341") == ("10.1.2.3", 7341)
+
+    def test_rpartition_takes_last_colon(self):
+        # Not full IPv6 support, but a colon-bearing host must not eat
+        # the port.
+        assert parse_address("::1:7341") == ("::1", 7341)
+
+    @pytest.mark.parametrize("bad", ["7341", ":7341", "host:", "host:nan"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = pair()
+        message = {"type": "result", "unit": "fn_0", "outcome": {"x": [1, 2]}}
+        send_message(a, message)
+        assert recv_message(b) == message
+        a.close()
+        b.close()
+
+    def test_multiple_frames_stay_separate(self):
+        a, b = pair()
+        for i in range(3):
+            send_message(a, {"type": "n", "i": i})
+        for i in range(3):
+            assert recv_message(b) == {"type": "n", "i": i}
+        a.close()
+        b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = pair()
+        a.close()
+        assert recv_message(b) is None
+        b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = pair()
+        a.sendall(struct.pack("!I", 100) + b'{"type":')  # truncated payload
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_message(b)
+        b.close()
+
+    def test_oversized_header_rejected(self):
+        a, b = pair()
+        a.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_message(b)
+        a.close()
+        b.close()
+
+    def test_non_object_payload_rejected(self):
+        a, b = pair()
+        payload = b"[1,2,3]"
+        a.sendall(struct.pack("!I", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="type"):
+            recv_message(b)
+        a.close()
+        b.close()
+
+    def test_undecodable_payload_rejected(self):
+        a, b = pair()
+        payload = b"\xff\xfe not json"
+        a.sendall(struct.pack("!I", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="undecodable"):
+            recv_message(b)
+        a.close()
+        b.close()
+
+
+class TestMessageChannel:
+    def _echo_server(self, sock, replies):
+        try:
+            while True:
+                message = recv_message(sock)
+                if message is None:
+                    return
+                send_message(sock, replies(message))
+        except (ProtocolError, OSError):
+            return  # test tore the socket down mid-conversation
+
+    def test_request_response(self):
+        a, b = pair()
+        thread = threading.Thread(
+            target=self._echo_server,
+            args=(b, lambda m: {"type": "ack", "echo": m["type"]}),
+            daemon=True,
+        )
+        thread.start()
+        channel = MessageChannel(a)
+        assert channel.request({"type": "ping"}) == {
+            "type": "ack",
+            "echo": "ping",
+        }
+        channel.close()
+        b.close()
+
+    def test_error_reply_raises(self):
+        a, b = pair()
+        thread = threading.Thread(
+            target=self._echo_server,
+            args=(b, lambda m: {"type": "error", "detail": "boom"}),
+            daemon=True,
+        )
+        thread.start()
+        channel = MessageChannel(a)
+        with pytest.raises(ProtocolError, match="boom"):
+            channel.request({"type": "ping"})
+        channel.close()
+        b.close()
+
+    def test_peer_close_raises(self):
+        a, b = pair()
+        b.close()
+        channel = MessageChannel(a)
+        with pytest.raises((ProtocolError, OSError)):
+            channel.request({"type": "ping"})
+        channel.close()
+
+    def test_concurrent_requests_stay_paired(self):
+        a, b = pair()
+        thread = threading.Thread(
+            target=self._echo_server,
+            args=(b, lambda m: {"type": "ack", "n": m["n"]}),
+            daemon=True,
+        )
+        thread.start()
+        channel = MessageChannel(a)
+        mismatches = []
+
+        def hammer(n):
+            for _ in range(50):
+                reply = channel.request({"type": "req", "n": n})
+                if reply["n"] != n:
+                    mismatches.append((n, reply))
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert mismatches == []
+        channel.close()
+        b.close()
