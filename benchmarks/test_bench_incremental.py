@@ -16,11 +16,16 @@ oracle checks the same contract on random terms).  The session mode is
 asserted to do *less search* — fewer decisions and propagations, counted
 deterministically — and to be at least 1.3x faster in wall time.
 
-A second, recorded-only experiment runs a small Figure 6 corpus through
-the full validator with ``KeqOptions.incremental_solving`` on vs off; the
-end-to-end gain is smaller (KEQ time includes ISel, VCGen and symbolic
-execution) and box-dependent, so it lands in the JSON without a wall-time
-assert.
+A second experiment pushes the same contract through the full validator:
+the solver-bound corpus (i8 multiply-guard diamonds validated against
+ISel's ``mul_decompose`` lowering) with ``KeqOptions.incremental_solving``
+on (function scope) vs off.  There the solver is ~95% of KEQ wall time,
+so the function-scoped session win must survive end to end: the bench
+asserts a wall-time speedup >= 1.3 (measured 1.5-1.7 on the reference
+box; both modes take the best of two runs to shed scheduler noise),
+strictly fewer CDCL conflicts, ``clauses_reused > 0``, and — the
+soundness half — byte-identical campaign summaries once the
+timing/solver/session lines are filtered out.
 
 Numbers land in ``BENCH_incremental.json`` via the ``bench_json`` hook.
 """
@@ -32,13 +37,14 @@ from repro.smt import terms as t
 from repro.smt.solver import Solver
 from repro.tv import TvOptions
 from repro.tv.batch import run_corpus
-from repro.workloads import gcc_like_corpus
+from repro.workloads import solver_bound_corpus
 
 WIDTH = 14
 UNSAT_OBLIGATIONS = 24
 SAT_OBLIGATIONS = 6
-CORPUS_SCALE = 12
 CORPUS_SEED = 2021
+#: wall-clock lines excluded from the summary-identity comparison.
+_NONDETERMINISTIC_LINES = ("time:", "solver:", "session:")
 
 
 def _const(value):
@@ -137,46 +143,96 @@ def test_bench_incremental_vs_fresh(bench_json):
     )
 
 
-def test_bench_keq_incremental_end_to_end(bench_json):
-    corpus = gcc_like_corpus(scale=CORPUS_SCALE, seed=CORPUS_SEED)
-    base = TvOptions()
-    disabled = dataclasses.replace(
-        base,
-        keq=dataclasses.replace(base.keq, incremental_solving=False),
+def _stable_summary(result) -> str:
+    """The campaign summary minus wall-clock/solver-counter lines."""
+    return "\n".join(
+        line
+        for line in result.summary().splitlines()
+        if not line.startswith(_NONDETERMINISTIC_LINES)
     )
 
-    started = time.perf_counter()
-    off = run_corpus(corpus, disabled, dedup=False)
-    t_off = time.perf_counter() - started
-    started = time.perf_counter()
-    on = run_corpus(corpus, base, dedup=False)
-    t_on = time.perf_counter() - started
 
-    # Flipping the solver path must never flip a validation verdict.
+def _timed_corpus_run(corpus, options):
+    """Best of two runs: (min wall seconds, last BatchResult)."""
+    best = float("inf")
+    result = None
+    for _ in range(2):
+        started = time.perf_counter()
+        result = run_corpus(corpus, options, dedup=False)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_keq_incremental_end_to_end(bench_json):
+    corpus = solver_bound_corpus(seed=CORPUS_SEED)
+    base = TvOptions()
+    enabled = dataclasses.replace(
+        base,
+        isel=dataclasses.replace(base.isel, mul_decompose=True),
+        keq=dataclasses.replace(
+            base.keq, incremental_solving=True, session_scope="function"
+        ),
+    )
+    disabled = dataclasses.replace(
+        enabled,
+        keq=dataclasses.replace(enabled.keq, incremental_solving=False),
+    )
+
+    t_off, off = _timed_corpus_run(corpus, disabled)
+    t_on, on = _timed_corpus_run(corpus, enabled)
+
+    # Flipping the solver path must never flip a validation verdict —
+    # the campaign reports are byte-identical once the timing and solver
+    # counter lines are filtered out.
     assert [(o.function, o.category) for o in on.outcomes] == [
         (o.function, o.category) for o in off.outcomes
     ]
+    assert _stable_summary(on) == _stable_summary(off)
     assert on.solver_stats.incremental_checks > 0
+    assert on.solver_stats.clauses_reused > 0
     assert off.solver_stats.incremental_checks == 0
 
     speedup = t_off / t_on if t_on else 0.0
-    print(f"\nKEQ campaign (scale {CORPUS_SCALE}), incremental off vs on:")
+    print(f"\nKEQ campaign (solver-bound corpus), incremental off vs on:")
     print(f"  off: {t_off:.2f}s   on: {t_on:.2f}s   ({speedup:.2f}x)")
+    print(
+        f"  conflicts: off={off.solver_stats.conflicts}"
+        f" on={on.solver_stats.conflicts}"
+        f" clauses_reused={on.solver_stats.clauses_reused}"
+    )
 
-    # Recorded, not asserted: KEQ wall time includes ISel/VCGen/symbolic
-    # execution, so the solver-side gain is diluted and box-dependent.
+    # The session must do strictly less CDCL search (deterministic) and be
+    # materially faster end to end (the observed margin is 1.5-1.7x, so
+    # the 1.3x bound survives noisy CI boxes).
+    assert on.solver_stats.conflicts < off.solver_stats.conflicts
+    assert speedup >= 1.3
+
     bench_json(
         "incremental",
         {
             "keq_campaign": {
-                "scale": CORPUS_SCALE,
+                "corpus": "solver_bound",
                 "functions": len(on.outcomes),
                 "wall_seconds": {
                     "incremental_off": round(t_off, 3),
                     "incremental_on": round(t_on, 3),
                 },
                 "speedup": round(speedup, 3),
-                "incremental_checks": on.solver_stats.incremental_checks,
+                "conflicts": {
+                    "incremental_off": off.solver_stats.conflicts,
+                    "incremental_on": on.solver_stats.conflicts,
+                },
+                "session_counters": {
+                    "incremental_checks": (
+                        on.solver_stats.incremental_checks
+                    ),
+                    "clauses_reused": on.solver_stats.clauses_reused,
+                    "clauses_subsumed": on.solver_stats.clauses_subsumed,
+                    "clauses_evicted": on.solver_stats.clauses_evicted,
+                    "probe_failed_literals": (
+                        on.solver_stats.probe_failed_literals
+                    ),
+                },
             }
         },
     )

@@ -147,9 +147,9 @@ class CampaignReport:
         """Render the campaign report.
 
         ``include_timing=False`` drops wall-clock and solver-counter lines
-        (cache hits depend on how the campaign was interrupted), leaving
-        exactly the fields that must match between an interrupted+resumed
-        campaign and an uninterrupted one.
+        (cache hits and session reuse depend on how the campaign was
+        interrupted), leaving exactly the fields that must match between
+        an interrupted+resumed campaign and an uninterrupted one.
         """
         status = "complete" if self.complete else "INCOMPLETE"
         lines = [
@@ -157,7 +157,9 @@ class CampaignReport:
             f" functions accounted ({status})"
         ]
         for line in self.batch.summary().splitlines():
-            if not include_timing and line.startswith(("time:", "solver:")):
+            if not include_timing and line.startswith(
+                ("time:", "solver:", "session:")
+            ):
                 continue
             lines.append(line)
         counts = self.failure_counts
@@ -194,6 +196,10 @@ class CampaignStatus:
     worker_deaths: int = 0
     #: duplicate results dropped by first-write-wins acceptance.
     duplicates: int = 0
+    #: merged incremental-solving counters (None when no function used a
+    #: solver session): scope label, checks, clauses_reused, subsumed,
+    #: strengthened, evicted, probe_failed_literals.
+    session_counters: dict | None = None
 
     @property
     def complete(self) -> bool:
@@ -220,6 +226,17 @@ class CampaignStatus:
             f" duplicate-results={self.duplicates}"
             f" quarantined={self.quarantined}",
         ]
+        if self.session_counters:
+            counters = self.session_counters
+            lines.append(
+                f"session: scope={counters['scope'] or 'point'}"
+                f" checks={counters['checks']}"
+                f" clauses_reused={counters['clauses_reused']}"
+                f" subsumed={counters['subsumed']}"
+                f" strengthened={counters['strengthened']}"
+                f" evicted={counters['evicted']}"
+                f" probe_failed_literals={counters['probe_failed_literals']}"
+            )
         if self.halts:
             lines.append(f"halts: {self.halts}")
         lines.extend(shard.render() for shard in self.shards)
@@ -252,4 +269,21 @@ def build_status(manifest: dict, state: JournalState) -> CampaignStatus:
         retries=state.retries,
         worker_deaths=state.worker_deaths,
         duplicates=state.duplicates,
+        session_counters=session_counters(report.batch.solver_stats),
     )
+
+
+def session_counters(stats) -> dict | None:
+    """Render-ready incremental-solving counters, or None when the merged
+    stats show no session activity (e.g. ``--no-incremental`` runs)."""
+    if not stats or not stats.incremental_checks:
+        return None
+    return {
+        "scope": stats.session_scope,
+        "checks": stats.incremental_checks,
+        "clauses_reused": stats.clauses_reused,
+        "subsumed": stats.clauses_subsumed,
+        "strengthened": stats.clauses_strengthened,
+        "evicted": stats.clauses_evicted,
+        "probe_failed_literals": stats.probe_failed_literals,
+    }

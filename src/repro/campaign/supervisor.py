@@ -100,12 +100,26 @@ class CampaignConfig:
     #: replacement validation callable (importable module-level function,
     #: e.g. the SIGKILL injector in :mod:`repro.campaign.hooks`).
     validate: object | None = None
+    #: assumption-based incremental solving (see repro.smt.SolverSession).
+    incremental: bool = True
+    #: solver-session reuse scope: "point" (per sync point), "function"
+    #: (one session per function pair), or "campaign" (one
+    #: :class:`repro.smt.SessionCore` per worker process).
+    session_scope: str = "function"
 
 
-def _base_options(wall_budget: float | None) -> TvOptions:
+def _base_options(
+    wall_budget: float | None,
+    incremental: bool = True,
+    session_scope: str = "function",
+) -> TvOptions:
     if wall_budget is None:
-        return TvOptions()
-    return TvOptions.for_campaign(wall_budget_seconds=wall_budget)
+        options = TvOptions()
+    else:
+        options = TvOptions.for_campaign(wall_budget_seconds=wall_budget)
+    options.keq.incremental_solving = incremental
+    options.keq.session_scope = session_scope
+    return options
 
 
 def _validate_ref(validate) -> str | None:
@@ -185,7 +199,9 @@ def prepare_campaign(
             "seed": config.seed,
         }
     module = corpus.build_module()
-    base = _base_options(config.wall_budget)
+    base = _base_options(
+        config.wall_budget, config.incremental, config.session_scope
+    )
     overrides = corpus_overrides(corpus, base)
     names = list(module.functions)
     run_names, replay, classes = names, {}, 0
@@ -226,6 +242,8 @@ def prepare_campaign(
         "backoff_seconds": config.backoff_seconds,
         "halt_on_worker_death": config.halt_on_worker_death,
         "validate": _validate_ref(config.validate),
+        "incremental": config.incremental,
+        "session_scope": config.session_scope,
         "functions": names,
         "run_names": run_names,
         "replay": replay,
@@ -283,7 +301,11 @@ def prepare_resume(
     if validate is None:
         validate = _resolve_validate(manifest.get("validate"))
     module = corpus.build_module()
-    base = _base_options(manifest["wall_budget"])
+    base = _base_options(
+        manifest["wall_budget"],
+        manifest.get("incremental", True),
+        manifest.get("session_scope", "function"),
+    )
     overrides = corpus_overrides(corpus, base)
     state = load_state(directory)
     max_kills = manifest["max_kills"]

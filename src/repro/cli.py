@@ -44,14 +44,21 @@ def _isel_options(args) -> IselOptions:
     elif args.bug == "narrow":
         bug = BugMode.LOAD_NARROWING
     return IselOptions(
-        merge_stores=args.merge_stores, narrow_loads=args.narrow_loads, bug=bug
+        merge_stores=args.merge_stores,
+        narrow_loads=args.narrow_loads,
+        mul_decompose=getattr(args, "mul_decompose", False),
+        bug=bug,
     )
 
 
 def _tv_options(args) -> TvOptions:
     return TvOptions(
         isel=_isel_options(args),
-        keq=KeqOptions(max_steps=args.max_steps),
+        keq=KeqOptions(
+            max_steps=args.max_steps,
+            incremental_solving=not getattr(args, "no_incremental", False),
+            session_scope=getattr(args, "session_scope", "function"),
+        ),
         imprecise_liveness=args.imprecise_liveness,
     )
 
@@ -153,9 +160,12 @@ def cmd_campaign_run(args) -> int:
             + (f", cache-dir={args.cache_dir}" if args.cache_dir else "")
             + ")..."
         )
+        options = TvOptions.for_campaign(wall_budget_seconds=args.wall_budget)
+        options.keq.incremental_solving = not args.no_incremental
+        options.keq.session_scope = args.session_scope
         result = run_corpus(
             corpus,
-            TvOptions.for_campaign(wall_budget_seconds=args.wall_budget),
+            options,
             jobs=jobs,
             cache_dir=args.cache_dir,
         )
@@ -179,6 +189,8 @@ def cmd_campaign_run(args) -> int:
         strategy=args.strategy,
         halt_on_worker_death=args.halt_on_worker_death,
         validate=_campaign_injection(args),
+        incremental=not args.no_incremental,
+        session_scope=args.session_scope,
     )
     print(f"campaign: {args.dir} (shards={args.shards}, jobs={jobs})")
     try:
@@ -342,6 +354,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--imprecise-liveness", action="store_true")
         p.add_argument("--max-steps", type=int, default=4000)
         p.add_argument(
+            "--mul-decompose",
+            action="store_true",
+            help="ISel: lower small multiply-by-constant to shift/add",
+        )
+        p.add_argument(
+            "--no-incremental",
+            action="store_true",
+            help="disable assumption-based incremental solving",
+        )
+        p.add_argument(
+            "--session-scope",
+            choices=["point", "function", "campaign"],
+            default="function",
+            help="solver-session reuse scope (default: function)",
+        )
+        p.add_argument(
             "--proof",
             action="store_true",
             help="record and re-check a machine-checkable equivalence proof",
@@ -406,6 +434,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dedup",
         action="store_true",
         help="disable alpha-equivalence outcome deduplication",
+    )
+    run.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable assumption-based incremental solving",
+    )
+    run.add_argument(
+        "--session-scope",
+        choices=["point", "function", "campaign"],
+        default="function",
+        help="solver-session reuse scope (default: function;"
+        " campaign = one long-lived solver core per worker)",
     )
     run.add_argument(
         "--halt-on-worker-death",

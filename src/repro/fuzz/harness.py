@@ -21,6 +21,7 @@ from repro.fuzz.oracles import (
     brute_force_eligible,
     check_brute_force,
     check_cache_consistency,
+    check_function_session_vs_fresh,
     check_implication_forms,
     check_incremental_vs_fresh,
     check_model_soundness,
@@ -178,7 +179,20 @@ def run_fuzz(
             check_incremental_vs_fresh(formula, conditions), iteration
         )
 
-        # 6. cache outcome-identity over the recent query batch.
+        # 6. function-scoped sessions (sync-point prefixes as assumption
+        #    sets, retracted/re-assumed/permuted between points) vs fresh
+        #    solving: the two conditions are the sync-point prefixes, the
+        #    antecedent is the per-point delta.  Every other iteration —
+        #    the oracle replays five sync points, each against a fresh
+        #    solver, so it dominates iteration cost if run every time.
+        if iteration % 2 == 0:
+            ran("function-session-vs-fresh")
+            record(
+                check_function_session_vs_fresh(conditions, [antecedent]),
+                iteration,
+            )
+
+        # 7. cache outcome-identity over the recent query batch.
         pending_cache_batch.append(formula)
         pending_cache_batch.append(small)
         if (iteration + 1) % CACHE_CHECK_EVERY == 0:

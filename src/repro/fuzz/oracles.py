@@ -19,7 +19,10 @@ on mutated witnesses.  The layers cross-checked:
   checked;
 - incremental sessions (:meth:`repro.smt.solver.Solver.session`) against
   fresh per-query solving on goal sets sharing a common prefix — same
-  SAT/UNSAT verdicts, and session models must satisfy the combined goal.
+  SAT/UNSAT verdicts, and session models must satisfy the combined goal;
+- *function-scoped* sessions — one session spanning several sync-point
+  assumption sets, with retraction, revisits, and permuted assumption
+  order — against fresh solving on the plain conjunctions.
 
 Oracles never raise on stack bugs — they return violations — but they are
 allowed to raise on harness bugs (e.g. mis-sorted generated terms), which
@@ -455,4 +458,75 @@ def check_incremental_vs_fresh(
         detail=detail,
         witnesses=witnesses,
         predicate=lambda ws: _incremental_disagreement(ws) is not None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Oracle 7: function-scoped sessions agree with fresh solving
+# ---------------------------------------------------------------------------
+
+
+def _function_session_disagreement(
+    witnesses: tuple[Term, ...],
+) -> str | None:
+    """One function-scoped session across sync points vs fresh solving.
+
+    The first two witnesses are *sync-point prefixes* (the path conditions
+    of two synchronization points of one function pair); the rest are
+    per-point deltas.  The session decides every (prefix, delta) pair with
+    the prefix riding as a per-check assumption set — exactly how
+    :class:`repro.keq.symbolic.Keq` drives its function-scoped session —
+    and each verdict must match a fresh solver on the plain conjunction.
+
+    Point 1 is *revisited after* point 2, so the pass also covers the
+    retraction hazard: point 2's retracted assumptions leaking into point
+    1's re-checks (clause-learning unsoundness).  The final point assumes
+    both prefixes and is checked under both permutations — the
+    canonical-order contract says permuted assumption sets are one query,
+    so the verdicts must match each other and the fresh conjunction.
+    """
+    prefix_a, prefix_b, *deltas = witnesses
+    solver = Solver(conflict_budget=ORACLE_BUDGET)
+    points = [
+        (prefix_a,),
+        (prefix_b,),
+        (prefix_a,),  # revisit: point 2's assumptions are retracted now
+        (prefix_a, prefix_b),
+        (prefix_b, prefix_a),  # same point, permuted assumption order
+    ]
+    with solver.session() as session:
+        for point, assumptions in enumerate(points):
+            for index, delta in enumerate(deltas):
+                fresh = Solver(conflict_budget=ORACLE_BUDGET).check_sat(
+                    t.and_(t.conj(assumptions), delta)
+                )
+                incremental = session.check(delta, assumptions)
+                if Result.UNKNOWN in (fresh, incremental):
+                    continue  # budget exhaustion is not a soundness defect
+                if fresh is not incremental:
+                    return (
+                        f"point {point} delta {index}: fresh solver "
+                        f"{fresh.value}, function session "
+                        f"{incremental.value} (assumptions = "
+                        f"{[to_str(a) for a in assumptions]}, "
+                        f"delta = {to_str(delta)})"
+                    )
+    return None
+
+
+def check_function_session_vs_fresh(
+    prefixes: Sequence[Term], deltas: Sequence[Term]
+) -> Violation | None:
+    """Function-scoped sessions (sync-point prefixes as assumption sets,
+    retracted and re-assumed between points) must be outcome-identical to
+    fresh per-query solving."""
+    witnesses = (*prefixes, *deltas)
+    detail = _function_session_disagreement(witnesses)
+    if detail is None:
+        return None
+    return Violation(
+        oracle="function-session-vs-fresh",
+        detail=detail,
+        witnesses=witnesses,
+        predicate=lambda ws: _function_session_disagreement(ws) is not None,
     )

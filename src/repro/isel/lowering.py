@@ -52,6 +52,12 @@ class IselError(Exception):
 class IselOptions:
     merge_stores: bool = False
     narrow_loads: bool = False
+    #: decompose multiplications by small constants into shift+add/sub
+    #: sequences (the X86 ``decomposeMulByConstant`` DAG combine:
+    #: ``x*3`` -> ``(x<<1)+x``, ``x*7`` -> ``(x<<3)-x``, ...).  The machine
+    #: side then computes a syntactically different — but bit-level equal —
+    #: term than the IR side, so KEQ's obligations exercise the SAT solver.
+    mul_decompose: bool = False
     bug: BugMode | None = None
 
     def __post_init__(self):
@@ -83,6 +89,15 @@ _BINOP_OPCODES = {
     "srem": "irem",
     "udiv": "udiv",
     "urem": "urem",
+}
+
+#: mul-by-constant strength reduction: constant -> (shift, combining op).
+#: ``x*(2^k+1)`` -> ``(x<<k)+x`` and ``x*(2^k-1)`` -> ``(x<<k)-x``.
+_MUL_DECOMPOSE = {
+    3: (1, "add"),
+    5: (2, "add"),
+    7: (3, "sub"),
+    9: (3, "add"),
 }
 
 #: icmp predicate -> conditional jump when fused with a branch.
@@ -362,6 +377,19 @@ class _Lowerer:
         opcode = _BINOP_OPCODES[instruction.op]
         if opcode in ("idiv", "irem", "udiv", "urem") and isinstance(rhs, Imm):
             rhs = self._as_register(rhs, width)  # x86 division needs a register
+        if (
+            self.options.mul_decompose
+            and opcode == "imul"
+            and isinstance(rhs, Imm)
+            and rhs.value in _MUL_DECOMPOSE
+        ):
+            shift, combine = _MUL_DECOMPOSE[rhs.value]
+            shifted = self._fresh_vreg(width)
+            self._emit("shl", [lhs, Imm(shift, width)], shifted)
+            self._emit(
+                combine, [shifted, lhs], self.hints.reg_map[instruction.name]
+            )
+            return
         self._emit(opcode, [lhs, rhs], self.hints.reg_map[instruction.name])
 
     def _lower_icmp_standalone(self, instruction: ir.Icmp) -> None:

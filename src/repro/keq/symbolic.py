@@ -45,7 +45,7 @@ from repro.semantics.state import (
     Value,
     value_term,
 )
-from repro.smt import Result, Solver
+from repro.smt import Result, SessionCore, Solver, canonical_assumption_order
 from repro.smt import terms as t
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term
@@ -57,10 +57,19 @@ class KeqOptions:
     max_pair_checks: int = 2500  # successor-pair budget per check()
     mode: str = "bisimulation"  # or "simulation" (refinement)
     use_positive_form: bool = True  # the paper's SMT query optimization
-    #: route all obligations of one sync point through a single incremental
-    #: solver session: the point's instantiated prefix bit-blasts once and
-    #: learned clauses carry across the per-successor queries.
+    #: route obligations through an incremental solver session so the
+    #: Tseitin encodings and learned clauses carry across queries.
     incremental_solving: bool = True
+    #: session lifetime when incremental solving is on —
+    #: ``"point"``: one session per sync point (the legacy scope);
+    #: ``"function"``: one session per function pair — each point's
+    #: instantiated prefix rides as a swappable assumption set, so every
+    #: feasibility/path/constraint/memory obligation of the function
+    #: shares one clause database;
+    #: ``"campaign"``: reuse a caller-provided :class:`SessionCore` that
+    #: outlives this checker (one per campaign worker); falls back to
+    #: function scope when no core is supplied.
+    session_scope: str = "function"
     solver_conflict_budget: int = 100_000
     record_proof: bool = False  # build a machine-checkable witness
     #: wall-clock budget per function — the paper's actual mechanism (a
@@ -92,6 +101,7 @@ class Keq:
         acceptability: Acceptability | None = None,
         options: KeqOptions | None = None,
         solver: Solver | None = None,
+        session_core: SessionCore | None = None,
     ):
         self.left = left
         self.right = right
@@ -100,12 +110,17 @@ class Keq:
         self.solver = solver or Solver(
             conflict_budget=self.options.solver_conflict_budget
         )
+        #: campaign-scoped solver state shared across functions (owned by
+        #: the batch/service worker; only used when
+        #: ``options.session_scope == "campaign"``).
+        self._session_core = session_core
         #: the witness of the last VALIDATED check (when record_proof).
         self.last_proof: EquivalenceProof | None = None
         self._proof: EquivalenceProof | None = None
         self._obligation_context: tuple[str, str] = ("?", "?")
-        #: the incremental session for the sync point currently being
-        #: checked (None outside _check_point or when disabled).
+        #: the active incremental session (None when disabled); opened per
+        #: function in :meth:`check_equivalence` for function/campaign
+        #: scope, per sync point in :meth:`_check_point` for point scope.
         self._session = None
 
     # ------------------------------------------------------------------ driver --
@@ -149,6 +164,41 @@ class Keq:
             else None
         )
         self._deadline = deadline
+        # Function-scoped (or campaign-scoped) incremental session: one
+        # clause database serves every sync point of this function.  Each
+        # point's instantiated prefix enters as per-check assumptions
+        # (indicator literals), retracted automatically between points —
+        # only DB-implied learned clauses persist, so retracted points
+        # cannot constrain later ones.
+        if self.options.incremental_solving:
+            if (
+                self.options.session_scope == "campaign"
+                and self._session_core is not None
+            ):
+                self._session = self.solver.session(core=self._session_core)
+            elif self.options.session_scope in ("function", "campaign"):
+                self._session = self.solver.session(
+                    core=SessionCore(scope="function")
+                )
+        try:
+            verdict = self._run_points(
+                points, left_cuts, right_cuts, stats, failures, verdict
+            )
+        finally:
+            self._session = None
+        stats.wall_time = time.perf_counter() - started
+        stats.solver_queries = self.solver.stats.queries
+        stats.solver_time = self.solver.stats.time_seconds
+        stats.cache_hits = self.solver.stats.cache_hits
+        stats.cache_misses = self.solver.stats.cache_misses
+        if verdict is Verdict.VALIDATED and self._proof is not None:
+            self.last_proof = self._proof
+        self._proof = None
+        return KeqReport(verdict, failures, stats)
+
+    def _run_points(
+        self, points, left_cuts, right_cuts, stats, failures, verdict
+    ) -> Verdict:
         for point in points:
             if not point.executable:
                 continue
@@ -182,15 +232,7 @@ class Keq:
             if not ok:
                 verdict = Verdict.NOT_VALIDATED
                 break
-        stats.wall_time = time.perf_counter() - started
-        stats.solver_queries = self.solver.stats.queries
-        stats.solver_time = self.solver.stats.time_seconds
-        stats.cache_hits = self.solver.stats.cache_hits
-        stats.cache_misses = self.solver.stats.cache_misses
-        if verdict is Verdict.VALIDATED and self._proof is not None:
-            self.last_proof = self._proof
-        self._proof = None
-        return KeqReport(verdict, failures, stats)
+        return verdict
 
     # ------------------------------------------------------- point instantiation --
 
@@ -337,19 +379,23 @@ class Keq:
         stats: KeqStats,
         failures: list[CheckFailure],
     ) -> bool:
-        # One incremental session per sync point: every feasibility,
-        # path-condition, constraint, and memory obligation below shares the
-        # point's instantiated symbols, so the session's encoding cache and
-        # learned clauses amortize across the whole successor-pair loop.
-        self._session = (
-            self.solver.session() if self.options.incremental_solving else None
+        # Point scope: one session per sync point (the legacy lifetime).
+        # Function/campaign scope sessions are opened by check_equivalence
+        # and must not be clobbered here.
+        if (
+            self.options.incremental_solving
+            and self.options.session_scope == "point"
+        ):
+            self._session = self.solver.session(core=SessionCore(scope="point"))
+            try:
+                return self._check_point_obligations(
+                    point, points, left_cuts, right_cuts, stats, failures
+                )
+            finally:
+                self._session = None
+        return self._check_point_obligations(
+            point, points, left_cuts, right_cuts, stats, failures
         )
-        try:
-            return self._check_point_obligations(
-                point, points, left_cuts, right_cuts, stats, failures
-            )
-        finally:
-            self._session = None
 
     def _check_sat_conditional(self, delta: Term, assumptions=()) -> Result:
         """SAT(assumptions ∧ delta) via the active session, if any.
@@ -360,7 +406,10 @@ class Keq:
         """
         if self._session is not None:
             return self._session.check(delta, assumptions=assumptions)
-        return self.solver.check_sat(t.conj([*assumptions, delta]))
+        # Mirror the session's canonical assumption order so the on/off
+        # paths build one combined term (one memo/cache key).
+        ordered = canonical_assumption_order(assumptions)
+        return self.solver.check_sat(t.conj([*ordered, delta]))
 
     def _check_point_obligations(
         self,

@@ -272,6 +272,8 @@ class Coordinator:
             "worker_id": info.worker_id,
             "module_text": self.prepared.module_text,
             "wall_budget": manifest["wall_budget"],
+            "incremental": manifest.get("incremental", True),
+            "session_scope": manifest.get("session_scope", "function"),
             "imprecise": self._imprecise,
             "cache_dir": manifest["cache_dir"],
             "validate": manifest.get("validate"),

@@ -160,7 +160,11 @@ class ServiceWorker:
         except (ProtocolError, OSError):
             self._channel.close()
             raise
-        base = _base_options(welcome.get("wall_budget"))
+        base = _base_options(
+            welcome.get("wall_budget"),
+            welcome.get("incremental", True),
+            welcome.get("session_scope", "function"),
+        )
         overrides = {
             name: dataclasses.replace(base, imprecise_liveness=True)
             for name in welcome.get("imprecise", [])

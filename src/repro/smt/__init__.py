@@ -28,13 +28,21 @@ from repro.smt.terms import (
 )
 from repro.smt import terms as t
 from repro.smt.simplify import simplify, substitute
-from repro.smt.solver import QueryStats, Result, Solver
+from repro.smt.solver import (
+    QueryStats,
+    Result,
+    SessionCore,
+    Solver,
+    canonical_assumption_order,
+)
 from repro.smt.cache import CacheStats, QueryCache
 
 __all__ = [
     "CacheStats",
     "QueryCache",
     "QueryStats",
+    "SessionCore",
+    "canonical_assumption_order",
     "BOOL",
     "BV1",
     "BV8",

@@ -21,7 +21,15 @@ This is the decision procedure at the bottom of the reproduction's SMT stack
   *unsat core* (the subset of assumptions the refutation used) in
   :attr:`SatSolver.core`;
 - a conflict budget so callers can emulate the paper's per-function
-  timeouts deterministically.
+  timeouts deterministically;
+- a bounded learned-clause store: learned clauses carry an LBD (literal
+  block distance) and :meth:`SatSolver.reduce_learned` evicts the weakest
+  ones so long-lived incremental sessions keep flat memory;
+- bounded *inprocessing* (:meth:`SatSolver.inprocess`): clause
+  subsumption, self-subsuming resolution, and failed-literal probing run
+  under a propagation budget between incremental solve calls, so the
+  retained clause database gets smaller and stronger instead of merely
+  larger.
 
 Literals use the DIMACS convention: variables are positive integers and a
 negated literal is the negated integer.
@@ -71,6 +79,16 @@ class Stats:
     restarts: int = 0
     max_vars: int = 0
     solve_calls: int = 0
+    #: learned clauses evicted by :meth:`SatSolver.reduce_learned`
+    evicted: int = 0
+    #: clauses removed because another clause subsumes them
+    subsumed: int = 0
+    #: literals removed by self-subsuming resolution
+    strengthened: int = 0
+    #: root units derived by failed-literal probing
+    probe_failed: int = 0
+    #: :meth:`SatSolver.inprocess` passes that actually ran
+    inprocessings: int = 0
 
 
 @dataclass
@@ -78,6 +96,8 @@ class _Clause:
     literals: list[int]
     learned: bool = False
     activity: float = field(default=0.0)
+    #: literal block distance at learn time (eviction quality signal)
+    lbd: int = 0
 
 
 class SatSolver:
@@ -175,6 +195,262 @@ class SatSolver:
         """
         self._backtrack(0)
         self._flush_pending_units()
+
+    @property
+    def num_learned(self) -> int:
+        """Learned clauses currently in the database (evictions deducted)."""
+        return sum(1 for clause in self._clauses if clause.learned)
+
+    def _store_learned(self, learned: list[int]) -> _Clause | None:
+        """Record a learned clause in the database; units are parked so the
+        next root visit asserts them.  Returns the clause, or None for a
+        unit.  The LBD is the number of distinct decision levels among the
+        clause's literals at learn time (lower is better)."""
+        if len(learned) == 1:
+            self._pending_units.append(learned[0])
+            return None
+        clause = _Clause(
+            learned,
+            learned=True,
+            lbd=len({self._level[abs(lit)] for lit in learned}),
+        )
+        self._clauses.append(clause)
+        self.stats.learned += 1
+        self._watch(clause, learned[0])
+        self._watch(clause, learned[1])
+        return clause
+
+    # -- learned-clause store maintenance -------------------------------------
+
+    def reduce_learned(self, cap: int) -> int:
+        """Evict the weakest learned clauses until at most ``cap`` remain.
+
+        Quality order is (LBD, length, age): glue clauses (LBD ≤ 2) are
+        always kept, as are clauses currently acting as a propagation
+        reason.  Must be called at the root level (callers use
+        :meth:`reset_to_root` first).  Returns the number evicted.
+        """
+        if not self._ok or self._trail_lim:
+            return 0
+        learned = [clause for clause in self._clauses if clause.learned]
+        if len(learned) <= cap:
+            return 0
+        locked = {
+            id(self._reason[abs(lit)])
+            for lit in self._trail
+            if self._reason[abs(lit)] is not None
+        }
+        ranked = sorted(learned, key=lambda c: (c.lbd, len(c.literals)))
+        keep: set[int] = set()
+        for clause in ranked:
+            if len(keep) < cap or clause.lbd <= 2 or id(clause) in locked:
+                keep.add(id(clause))
+        evicted = len(learned) - len(keep)
+        if evicted == 0:
+            return 0
+        self._clauses = [
+            clause
+            for clause in self._clauses
+            if not clause.learned or id(clause) in keep
+        ]
+        self.stats.evicted += evicted
+        self._rebuild_watches()
+        return evicted
+
+    def _rebuild_watches(self) -> None:
+        """Re-watch the first two literals of every clause.
+
+        Only valid when every in-database clause has its first two literals
+        unassigned at the root (guaranteed after :meth:`_simplify_db`, and
+        preserved by clause deletion/strengthening at the root level).
+        """
+        self._watches = {}
+        for clause in self._clauses:
+            self._watch(clause, clause.literals[0])
+            self._watch(clause, clause.literals[1])
+
+    def _simplify_db(self) -> None:
+        """Remove root-satisfied clauses and root-falsified literals.
+
+        Precondition: root level, unit propagation at fixpoint.  After the
+        pass every stored clause contains only root-unassigned literals, so
+        watching positions 0/1 is always valid.
+        """
+        kept: list[_Clause] = []
+        for clause in self._clauses:
+            new_lits: list[int] = []
+            satisfied = False
+            for lit in clause.literals:
+                value = self._value(lit)
+                if value != UNASSIGNED and self._level[abs(lit)] == 0:
+                    if value == TRUE:
+                        satisfied = True
+                        break
+                    continue  # root-falsified: drop the literal
+                new_lits.append(lit)
+            if satisfied:
+                continue
+            if not new_lits:
+                self._ok = False
+                return
+            if len(new_lits) == 1:
+                self._pending_units.append(new_lits[0])
+                continue
+            clause.literals = new_lits
+            kept.append(clause)
+        self._clauses = kept
+        self._rebuild_watches()
+        self._flush_pending_units()
+        if self._ok and self._propagate() is not None:
+            self._ok = False
+
+    def inprocess(self, propagation_budget: int = 20_000) -> None:
+        """Bounded inprocessing between incremental solve calls.
+
+        Runs, in order and under one shared budget: database
+        simplification against root facts, clause subsumption with
+        self-subsuming resolution, and failed-literal probing.  Every
+        derived fact is implied by the clause database alone, so the pass
+        is sound for later solves under any assumptions.  Deterministic:
+        candidate orders are value-based, never id()- or hash-ordered.
+        """
+        if not self._ok:
+            return
+        self._backtrack(0)
+        self._flush_pending_units()
+        if not self._ok:
+            return
+        if self._propagate() is not None:
+            self._ok = False
+            return
+        self.stats.inprocessings += 1
+        self._simplify_db()
+        if not self._ok:
+            return
+        remaining = self._subsume(propagation_budget)
+        if not self._ok:
+            return
+        self._probe_failed_literals(remaining)
+
+    #: clauses longer than this are invisible to the subsumption pass
+    _SUBSUME_MAX_LEN = 24
+
+    def _subsume(self, budget: int) -> int:
+        """Subsumption and self-subsuming resolution over short clauses.
+
+        For each clause C (shortest first): any clause D ⊇ C is deleted,
+        and any D containing all of C but with one literal negated is
+        strengthened by removing that literal (the resolvent of C and D
+        subsumes D).  Each subset test costs one budget unit; returns the
+        unspent budget.
+        """
+        short = [
+            clause
+            for clause in self._clauses
+            if len(clause.literals) <= self._SUBSUME_MAX_LEN
+        ]
+        occurrences: dict[int, list[_Clause]] = {}
+        signatures: dict[int, int] = {}
+        for clause in short:
+            signature = 0
+            for lit in clause.literals:
+                signature |= 1 << (abs(lit) & 63)
+                occurrences.setdefault(lit, []).append(clause)
+            signatures[id(clause)] = signature
+        removed: set[int] = set()
+
+        def subset(small: list[int], big: list[int]) -> bool:
+            return set(small) <= set(big)
+
+        changed = False
+        for clause in sorted(short, key=lambda c: len(c.literals)):
+            if budget <= 0:
+                break
+            if id(clause) in removed:
+                continue
+            lits = clause.literals
+            signature = signatures[id(clause)]
+            pivot = min(lits, key=lambda l: len(occurrences.get(l, ())))
+            for other in occurrences.get(pivot, ()):
+                if budget <= 0:
+                    break
+                if other is clause or id(other) in removed:
+                    continue
+                if len(other.literals) < len(lits):
+                    continue
+                if signature & ~signatures[id(other)]:
+                    continue
+                budget -= 1
+                if subset(lits, other.literals):
+                    removed.add(id(other))
+                    self.stats.subsumed += 1
+            for lit in lits:
+                if budget <= 0:
+                    break
+                rest = [l for l in lits if l != lit]
+                for other in occurrences.get(-lit, ()):
+                    if budget <= 0:
+                        break
+                    if other is clause or id(other) in removed:
+                        continue
+                    if len(other.literals) < len(lits):
+                        continue
+                    if signature & ~signatures[id(other)]:
+                        continue
+                    budget -= 1
+                    if -lit in other.literals and subset(rest, other.literals):
+                        other.literals.remove(-lit)
+                        self.stats.strengthened += 1
+                        changed = True
+                        if len(other.literals) == 1:
+                            self._pending_units.append(other.literals[0])
+                            removed.add(id(other))
+        if removed or changed:
+            self._clauses = [
+                clause for clause in self._clauses if id(clause) not in removed
+            ]
+            self._rebuild_watches()
+        self._flush_pending_units()
+        if self._ok and self._propagate() is not None:
+            self._ok = False
+        return budget
+
+    def _probe_failed_literals(self, budget: int) -> None:
+        """Probe high-activity variables for failed literals.
+
+        Assuming a literal and propagating to a conflict proves its
+        negation at the root.  Propagations count against the budget.
+        """
+        if budget <= 0 or not self._ok:
+            return
+        candidates = sorted(
+            range(1, self._num_vars + 1),
+            key=lambda var: (-self._activity[var], var),
+        )[:64]
+        for var in candidates:
+            if budget <= 0 or not self._ok:
+                return
+            if self._assign[var] != UNASSIGNED:
+                continue
+            for lit in (var, -var):
+                if budget <= 0:
+                    return
+                if self._assign[var] != UNASSIGNED:
+                    break
+                self._trail_lim.append(len(self._trail))
+                self._assign_lit(lit, None)
+                before = self.stats.propagations
+                conflict = self._propagate()
+                budget -= self.stats.propagations - before + 1
+                self._backtrack(0)
+                if conflict is not None:
+                    self.stats.probe_failed += 1
+                    if not self._enqueue_root(-lit):
+                        self._ok = False
+                        return
+                    if self._propagate() is not None:
+                        self._ok = False
+                        return
 
     def _flush_pending_units(self) -> None:
         while self._pending_units:
@@ -316,6 +592,37 @@ class SatSolver:
         learned[1], learned[best] = learned[best], learned[1]
         return learned, self._level[abs(learned[1])]
 
+    def _analyze_prefix(self, conflict: _Clause, assumed: set[int]) -> list[int]:
+        """Resolve a prefix conflict into a learnable clause.
+
+        First-UIP analysis does not apply inside the assumption prefix: a
+        level there can hold several reason-less literals (the assumption
+        itself plus parked learned units), so the resolution is run to the
+        reason-less frontier instead.  Assumption literals are kept,
+        negated, as clause literals; parked units are dropped — they are
+        implied by the clause database, so resolving them away keeps the
+        result database-implied and valid under any later assumptions.
+        """
+        seen = {
+            abs(lit) for lit in conflict.literals if self._level[abs(lit)] > 0
+        }
+        learned: list[int] = []
+        for trail_lit in reversed(self._trail):
+            var = abs(trail_lit)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            self._bump_var(var)
+            reason = self._reason[var]
+            if reason is None:
+                if trail_lit in assumed:
+                    learned.append(-trail_lit)
+                continue
+            for other in reason.literals:
+                if other != trail_lit and self._level[abs(other)] > 0:
+                    seen.add(abs(other))
+        return learned
+
     def _analyze_final(self, conflict: _Clause, assumed: set[int]) -> list[int]:
         """Final-conflict analysis (MiniSat's ``analyzeFinal``).
 
@@ -435,7 +742,16 @@ class SatSolver:
                     return SatResult.UNSAT
                 if len(self._trail_lim) <= len(assumptions):
                     # Conflict inside the assumption prefix: the clause set
-                    # refutes a subset of the assumptions.
+                    # refutes a subset of the assumptions.  Learn a clause
+                    # anyway — the prefix analysis resolves the conflict
+                    # down to reason-less literals, so the result is
+                    # implied by the clause database alone and transfers
+                    # to later solve calls under different assumptions.
+                    # UNSAT-heavy incremental workloads would otherwise
+                    # never accumulate reusable clauses.
+                    prefix_clause = self._analyze_prefix(conflict, assumed)
+                    if prefix_clause:
+                        self._store_learned(prefix_clause)
                     self.core = self._analyze_final(conflict, assumed)
                     self._backtrack(0)
                     return SatResult.UNSAT
@@ -459,11 +775,8 @@ class SatSolver:
                     if value == UNASSIGNED:
                         self._assign_lit(lit, None)
                 else:
-                    clause = _Clause(learned, learned=True)
-                    self._clauses.append(clause)
-                    self.stats.learned += 1
-                    self._watch(clause, learned[0])
-                    self._watch(clause, learned[1])
+                    clause = self._store_learned(learned)
+                    assert clause is not None
                     self._assign_lit(learned[0], clause)
                 self._var_inc /= self._var_decay
                 continue

@@ -63,6 +63,17 @@ class QueryStats:
     clauses_reused: int = 0
     #: Tseitin encodings served from the session blaster's per-term cache
     encode_cache_hits: int = 0
+    #: clauses deleted by the inprocessing subsumption pass
+    clauses_subsumed: int = 0
+    #: literals removed by self-subsuming resolution
+    clauses_strengthened: int = 0
+    #: learned clauses evicted by the bounded store (memory cap)
+    clauses_evicted: int = 0
+    #: root units derived by failed-literal probing
+    probe_failed_literals: int = 0
+    #: session scopes that fed these counters ("point", "function",
+    #: "campaign"; comma-joined union after merging)
+    session_scope: str = ""
     cache_hits: int = 0  # answered by the shared QueryCache
     cache_misses: int = 0
     #: memo/cache entries that held the answer but could not serve the query
@@ -84,6 +95,14 @@ class QueryStats:
         self.incremental_checks += other.incremental_checks
         self.clauses_reused += other.clauses_reused
         self.encode_cache_hits += other.encode_cache_hits
+        self.clauses_subsumed += other.clauses_subsumed
+        self.clauses_strengthened += other.clauses_strengthened
+        self.clauses_evicted += other.clauses_evicted
+        self.probe_failed_literals += other.probe_failed_literals
+        scopes = set(filter(None, self.session_scope.split(","))) | set(
+            filter(None, other.session_scope.split(","))
+        )
+        self.session_scope = ",".join(sorted(scopes))
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_hits_unused += other.cache_hits_unused
@@ -505,7 +524,11 @@ class Solver:
 
     # -- incremental sessions ----------------------------------------------------
 
-    def session(self, assumptions: Iterable[Term] = ()) -> "SolverSession":
+    def session(
+        self,
+        assumptions: Iterable[Term] = (),
+        core: "SessionCore | None" = None,
+    ) -> "SolverSession":
         """Open an incremental session sharing ``assumptions`` across checks.
 
         All goals checked through the session are decided *under* the
@@ -513,8 +536,122 @@ class Solver:
         clauses, and VSIDS activity persist across checks, so obligations
         sharing a fat prefix (KEQ's per-sync-point queries) amortize both
         the bit-blasting and the search.  Usable as a context manager.
+
+        ``core`` plugs in pre-existing solver state (a
+        :class:`SessionCore`), letting the session lifecycle outlive this
+        façade object — the campaign drivers keep one core per worker so
+        clauses learned on one function carry into the next.
         """
-        return SolverSession(self, assumptions)
+        return SolverSession(self, assumptions, core=core)
+
+
+#: per-process memo of canonical term printings used to order assumptions
+_canonical_keys: dict[Term, str] = {}
+
+
+def canonical_assumption_order(terms: Iterable[Term]) -> list[Term]:
+    """Deduplicate and sort assumption terms into a canonical order.
+
+    ``check(delta, assumptions=(a, b))`` and ``(b, a)`` denote the same
+    query; ordering by the canonical *printing* (never by ``Term.serial``,
+    which depends on per-process interning order) makes the conjunction —
+    and hence the memo and on-disk cache keys — identical for both, in
+    every process.
+    """
+    unique = list(dict.fromkeys(terms))
+    if len(unique) <= 1:
+        return unique
+
+    def key(term: Term) -> str:
+        found = _canonical_keys.get(term)
+        if found is None:
+            found = str(term)
+            _canonical_keys[term] = found
+        return found
+
+    return sorted(unique, key=key)
+
+
+class SessionCore:
+    """Long-lived incremental-solver state with a bounded learned store.
+
+    Owns the SAT solver, the Tseitin-caching bit-blaster, the assumption
+    indicator literals, and the set of permanently asserted valid lemmas.
+    A :class:`SolverSession` normally creates a private core; campaign
+    drivers instead create one core per worker and thread it through every
+    function's session, so learned clauses and encodings survive across
+    dedup-adjacent functions (the *campaign* scope).
+
+    Between checks the core runs bounded upkeep: when the learned store
+    exceeds ``max_learned`` the weakest half is evicted (LBD/size order),
+    and every ``inprocess_every`` checks the clause database is subsumed,
+    strengthened, and probed under ``inprocess_budget`` propagations —
+    memory stays flat while the retained clauses get stronger.
+    """
+
+    def __init__(
+        self,
+        scope: str = "point",
+        max_learned: int = 4000,
+        inprocess_every: int = 16,
+        inprocess_budget: int = 20_000,
+        max_vars: int = 250_000,
+    ):
+        self.scope = scope
+        self.max_learned = max_learned
+        self.inprocess_every = inprocess_every
+        self.inprocess_budget = inprocess_budget
+        #: generational ceiling: once the shared solver holds this many
+        #: variables, the next maintenance discards the whole core.  SAT
+        #: answers must assign *every* variable, so an unboundedly growing
+        #: campaign core would slow each check down even when the old
+        #: state never helps; a generation restart re-pays one function's
+        #: encoding instead.
+        self.max_vars = max_vars
+        self.sat: SatSolver | None = None
+        self.blaster: BitBlaster | None = None
+        #: raw assumption term -> encoded indicator literal
+        self.assume_lits: dict[Term, int] = {}
+        #: valid lemma conjunctions already asserted permanently
+        self.lemmas_asserted: set[Term] = set()
+        self.checks = 0
+        #: times the state was discarded (poison-pill quarantine or a
+        #: ``max_vars`` generation restart)
+        self.resets = 0
+
+    def ensure(self) -> BitBlaster:
+        if self.blaster is None:
+            self.sat = SatSolver()
+            self.blaster = BitBlaster(self.sat)
+        return self.blaster
+
+    def reset(self) -> None:
+        """Discard every piece of solver state.
+
+        Campaign workers call this after a crashed or quarantined
+        function so a poisoned solve can never constrain later functions.
+        """
+        self.sat = None
+        self.blaster = None
+        self.assume_lits = {}
+        self.lemmas_asserted = set()
+        self.checks = 0
+        self.resets += 1
+
+    def maintain(self) -> None:
+        """Bounded upkeep after a check (see class docstring)."""
+        sat = self.sat
+        if sat is None:
+            return
+        self.checks += 1
+        if self.max_vars and sat.stats.max_vars > self.max_vars:
+            self.reset()
+            return
+        if self.max_learned and sat.num_learned > self.max_learned:
+            sat.reset_to_root()
+            sat.reduce_learned(self.max_learned // 2)
+        if self.inprocess_every and self.checks % self.inprocess_every == 0:
+            sat.inprocess(self.inprocess_budget)
 
 
 class SolverSession:
@@ -540,16 +677,34 @@ class SolverSession:
     from the SAT-level unsat core.
     """
 
-    def __init__(self, solver: Solver, assumptions: Iterable[Term] = ()):
+    def __init__(
+        self,
+        solver: Solver,
+        assumptions: Iterable[Term] = (),
+        core: SessionCore | None = None,
+    ):
         self.solver = solver
         self._base: list[Term] = list(assumptions)
-        self._sat: SatSolver | None = None
-        self._blaster: BitBlaster | None = None
-        #: raw assumption term -> encoded indicator literal
-        self._assume_lits: dict[Term, int] = {}
-        #: valid lemma conjunctions already asserted permanently
-        self._lemmas_asserted: set[Term] = set()
+        self._core = core if core is not None else SessionCore()
+        solver.stats.session_scope = ",".join(
+            sorted(
+                set(filter(None, solver.stats.session_scope.split(",")))
+                | {self._core.scope}
+            )
+        )
         self.last_core: list[Term] | None = None
+
+    @property
+    def _sat(self) -> SatSolver | None:
+        return self._core.sat
+
+    @property
+    def _blaster(self) -> BitBlaster | None:
+        return self._core.blaster
+
+    @property
+    def _assume_lits(self) -> dict[Term, int]:
+        return self._core.assume_lits
 
     def __enter__(self) -> "SolverSession":
         return self
@@ -558,19 +713,17 @@ class SolverSession:
         return False
 
     def _ensure_blaster(self) -> BitBlaster:
-        if self._blaster is None:
-            self._sat = SatSolver()
-            self._blaster = BitBlaster(self._sat)
-        return self._blaster
+        return self._core.ensure()
 
     def _assume_lit(self, term: Term) -> int:
-        lit = self._assume_lits.get(term)
+        lits = self._core.assume_lits
+        lit = lits.get(term)
         if lit is None:
-            blaster = self._blaster
+            blaster = self._core.blaster
             assert blaster is not None
             simplified = simplify(term)
             lit = blaster.encode_bool(simplified)
-            self._assume_lits[term] = lit
+            lits[term] = lit
         return lit
 
     def check(
@@ -594,11 +747,38 @@ class SolverSession:
         stats.incremental_checks += 1
         solver.last_model = None
         self.last_core = None
-        extra = list(assumptions)
-        combined = simplify(t.conj([*self._base, *extra, delta]))
+        # Canonical assumption order: permutations of the same assumption
+        # set must produce one combined term (one memo/cache key) and one
+        # SAT-level decision order.
+        ordered = canonical_assumption_order([*self._base, *assumptions])
+        combined = simplify(t.conj([*ordered, delta]))
         fast = solver._try_fast_paths(combined, need_model, started)
         if fast is not None:
             return fast
+        # Bounded upkeep (eviction, inprocessing, generation restart) runs
+        # *before* this check's encoding: it must never sit between the
+        # solve and the model/unsat-core extraction below, which read the
+        # same blaster and indicator-literal table the solve used.  Its
+        # counter deltas are recorded here — the post-solve window below
+        # only covers the solve itself.
+        sat_before = self._core.sat
+        if sat_before is not None:
+            upkeep = (
+                sat_before.stats.subsumed,
+                sat_before.stats.strengthened,
+                sat_before.stats.evicted,
+                sat_before.stats.probe_failed,
+            )
+        self._core.maintain()
+        if sat_before is not None:
+            stats.clauses_subsumed += sat_before.stats.subsumed - upkeep[0]
+            stats.clauses_strengthened += (
+                sat_before.stats.strengthened - upkeep[1]
+            )
+            stats.clauses_evicted += sat_before.stats.evicted - upkeep[2]
+            stats.probe_failed_literals += (
+                sat_before.stats.probe_failed - upkeep[3]
+            )
         blaster = self._ensure_blaster()
         sat_solver = self._sat
         assert sat_solver is not None
@@ -609,18 +789,21 @@ class SolverSession:
             _ackermann_lemmas(combined), _comparison_lemmas(combined)
         )
         encode_hits_before = blaster.encode_hits
-        if lemmas is not t.TRUE and lemmas not in self._lemmas_asserted:
-            self._lemmas_asserted.add(lemmas)
+        lemmas_asserted = self._core.lemmas_asserted
+        if lemmas is not t.TRUE and lemmas not in lemmas_asserted:
+            lemmas_asserted.add(lemmas)
             blaster.assert_term(lemmas)
-        assume_lits = [
-            self._assume_lit(term) for term in (*self._base, *extra)
-        ]
+        assume_lits = [self._assume_lit(term) for term in ordered]
         delta_lit = self._assume_lit(delta)
-        stats.clauses_reused += sat_solver.stats.learned
+        stats.clauses_reused += sat_solver.num_learned
         stats.encode_cache_hits += blaster.encode_hits - encode_hits_before
         conflicts_before = sat_solver.stats.conflicts
         decisions_before = sat_solver.stats.decisions
         propagations_before = sat_solver.stats.propagations
+        subsumed_before = sat_solver.stats.subsumed
+        strengthened_before = sat_solver.stats.strengthened
+        evicted_before = sat_solver.stats.evicted
+        probed_before = sat_solver.stats.probe_failed
         stats.sat_calls += 1
         outcome = sat_solver.solve(
             assumptions=assume_lits + [delta_lit],
@@ -631,6 +814,14 @@ class SolverSession:
         stats.decisions += sat_solver.stats.decisions - decisions_before
         stats.propagations += (
             sat_solver.stats.propagations - propagations_before
+        )
+        stats.clauses_subsumed += sat_solver.stats.subsumed - subsumed_before
+        stats.clauses_strengthened += (
+            sat_solver.stats.strengthened - strengthened_before
+        )
+        stats.clauses_evicted += sat_solver.stats.evicted - evicted_before
+        stats.probe_failed_literals += (
+            sat_solver.stats.probe_failed - probed_before
         )
         stats.per_query_conflicts.append(conflicts_delta)
         stats.time_seconds += time.perf_counter() - started
@@ -647,7 +838,7 @@ class SolverSession:
             core_lits = set(sat_solver.core or ())
             self.last_core = [
                 term
-                for term in dict.fromkeys([*self._base, *extra, delta])
+                for term in dict.fromkeys([*ordered, delta])
                 if self._assume_lits.get(term) in core_lits
             ]
             solver._memo[combined] = Result.UNSAT

@@ -37,7 +37,7 @@ from repro.keq import (
 from repro.keq.report import FAILURE_CLASS_INADEQUATE_SYNC
 from repro.llvm import ir
 from repro.llvm.semantics import LlvmSemantics, SemanticsError
-from repro.smt import QueryCache, QueryStats, Solver
+from repro.smt import QueryCache, QueryStats, SessionCore, Solver
 from repro.vcgen import VcGenError, generate_sync_points
 from repro.vx86.semantics import Vx86Semantics
 
@@ -106,9 +106,16 @@ def validate_function(
     function_name: str,
     options: TvOptions | None = None,
     cache: QueryCache | None = None,
+    session_core: "SessionCore | None" = None,
 ) -> TvOutcome:
     """Validate one function; ``cache`` is an optional shared solver-level
-    query cache (see :mod:`repro.smt.cache`) reused across functions."""
+    query cache (see :mod:`repro.smt.cache`) reused across functions.
+
+    ``session_core`` is an optional campaign-scoped
+    :class:`~repro.smt.SessionCore` holding long-lived SAT state (Tseitin
+    encodings, learned clauses).  When provided *and*
+    ``options.keq.session_scope == "campaign"``, the function's solver
+    sessions attach to it instead of opening function-scoped state."""
     options = options or TvOptions()
     function = module.function(function_name)
     size = _code_size(function)
@@ -172,7 +179,14 @@ def validate_function(
     # 3. KEQ.
     left = LlvmSemantics(module)
     right = Vx86Semantics({machine.name: machine})
-    keq = Keq(left, right, default_acceptability(), options.keq, solver=solver)
+    keq = Keq(
+        left,
+        right,
+        default_acceptability(),
+        options.keq,
+        solver=solver,
+        session_core=session_core,
+    )
     try:
         report = keq.check_equivalence(points)
     except SemanticsError as error:

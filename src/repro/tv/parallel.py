@@ -56,17 +56,22 @@ _GRACE_SLACK = 5.0
 _POLL_SECONDS = 0.05
 
 
-def default_validate(module, name, options, cache):
+def default_validate(module, name, options, cache, session_core=None):
     """The validation callable workers run; replaceable via ``validate``
     (used by tests to inject hanging/crashing workloads)."""
-    return validate_function(module, name, options, cache)
+    return validate_function(module, name, options, cache, session_core)
 
 
 def _worker_main(conn, module_text, options, overrides, cache_dir, validate):
     """Worker loop: re-parse the module, then serve tasks off the pipe."""
     from repro.llvm import parse_module
     from repro.smt import QueryCache
+    from repro.tv.batch import campaign_session_core
 
+    # Campaign-scoped solver state lives for the worker's whole shard.
+    # Injected ``validate`` hooks keep their 4-argument signature, so the
+    # core only rides along on the default validation path.
+    session_core = None if validate is not None else campaign_session_core(options)
     validate = validate or default_validate
     try:
         module = parse_module(module_text)
@@ -91,8 +96,23 @@ def _worker_main(conn, module_text, options, overrides, cache_dir, validate):
             )
         else:
             try:
-                outcome = validate(module, name, overrides.get(name, options), cache)
+                if session_core is not None:
+                    outcome = validate(
+                        module,
+                        name,
+                        overrides.get(name, options),
+                        cache,
+                        session_core,
+                    )
+                else:
+                    outcome = validate(
+                        module, name, overrides.get(name, options), cache
+                    )
             except BaseException:
+                if session_core is not None:
+                    # A poison-pill function may have left the shared SAT
+                    # state mid-update; quarantine it by starting over.
+                    session_core.reset()
                 outcome = TvOutcome(
                     name,
                     Category.OTHER,

@@ -16,7 +16,12 @@ from repro.workloads.generator import (
     generate_function,
     generate_module,
 )
-from repro.workloads.corpus import CorpusSpec, FunctionSpec, gcc_like_corpus
+from repro.workloads.corpus import (
+    CorpusSpec,
+    FunctionSpec,
+    gcc_like_corpus,
+    solver_bound_corpus,
+)
 
 __all__ = [
     "CorpusSpec",
@@ -26,4 +31,5 @@ __all__ = [
     "gcc_like_corpus",
     "generate_function",
     "generate_module",
+    "solver_bound_corpus",
 ]

@@ -123,6 +123,43 @@ def _oom_shape() -> FunctionShape:
     )
 
 
+def solver_bound_corpus(functions: int = 4, seed: int = 2021) -> CorpusSpec:
+    """A corpus whose validation time is dominated by SAT solving.
+
+    Every function carries an i8 multiply-by-constant guard diamond (see
+    ``FunctionShape.mul_guards``); validated with ISel's ``mul_decompose``
+    the IR and machine sides compute the product through syntactically
+    different circuits, so each obligation is a real bit-level equivalence
+    query.  The two extra plain diamonds multiply the synchronization
+    points that re-prove the same guard circuit, which is what
+    function-scoped incremental solving exploits: shift/add multiplier
+    lemmas learned at one point are replayed at the next, while the
+    varying guard predicates and diamond bodies keep the top-level goals
+    distinct (every one is a query-cache miss).  Exactly one guard per
+    function: a second guard can draw its bound from the first guard's
+    divergent product and produce pathological (hours-long) queries.
+    """
+    spec = CorpusSpec()
+    for index in range(functions):
+        shape = FunctionShape(
+            straight_segments=1,
+            ops_per_segment=2,
+            diamonds=2,
+            loops=0,
+            wide_muls=False,
+            mul_guards=1,
+        )
+        spec.functions.append(
+            FunctionSpec(
+                name=f"fn_mul_{index:04d}",
+                shape=shape,
+                seed=seed + index,
+                expect="succeeded",
+            )
+        )
+    return spec
+
+
 def gcc_like_corpus(scale: int = 120, seed: int = 2021) -> CorpusSpec:
     """A corpus of ``scale`` supported functions (plus ~18% unsupported)
     whose outcome proportions are calibrated to the paper's Figure 6."""

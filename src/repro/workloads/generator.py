@@ -16,7 +16,12 @@ from repro.llvm.builder import FunctionBuilder
 from repro.llvm.types import ArrayType, IntType, PointerType, i8, i32, i64
 
 _ARITH_OPS = ("add", "sub", "mul", "and", "or", "xor")
+_ARITH_OPS_NO_MUL = ("add", "sub", "and", "or", "xor")
 _ICMP_PREDICATES = ("eq", "ne", "ult", "ule", "slt", "sle", "ugt", "sgt")
+
+
+def _arith_ops(shape: "FunctionShape") -> tuple[str, ...]:
+    return _ARITH_OPS if shape.wide_muls else _ARITH_OPS_NO_MUL
 
 
 @dataclass
@@ -45,6 +50,17 @@ class FunctionShape:
     casts: int = 0
     #: nest one extra loop inside each loop body (depth 2 loop nests).
     nested_loops: bool = False
+    #: allow i32 variable×variable multiplies in generic segments.  Turned
+    #: off by solver-bound corpora: a wide multiply downstream of a
+    #: ``mul_guards`` divergence makes the obligation a 32-bit multiplier
+    #: equivalence circuit — beyond any CDCL budget.
+    wide_muls: bool = True
+    #: emit narrow (i8) multiply-by-constant guard diamonds.  With ISel's
+    #: ``mul_decompose`` enabled the machine side lowers the multiply to a
+    #: shift/add chain, so every equivalence obligation over the product is
+    #: a genuine bit-level SAT problem rather than a syntactic match —
+    #: these segments make a corpus *solver-bound*.
+    mul_guards: int = 0
 
 
 @dataclass
@@ -101,6 +117,7 @@ def generate_function(
         + ["memory"] * shape.memory_ops
         + ["select"] * shape.selects
         + ["cast"] * shape.casts
+        + ["mul_guard"] * shape.mul_guards
     )
     rng.shuffle(plan)
     for segment in plan:
@@ -118,6 +135,8 @@ def generate_function(
             _emit_select(state)
         elif segment == "cast":
             _emit_cast_chain(state)
+        elif segment == "mul_guard":
+            _emit_mul_guard(state, shape)
     if shape.live_tail:
         result = state.values[0]
         for value in state.values[1:]:
@@ -160,7 +179,7 @@ def _emit_op(state: _GenState, shape: FunctionShape) -> None:
             rng.choice(("udiv", "urem")), i32, lhs, rhs
         )
     else:
-        result = state.builder.binop(rng.choice(_ARITH_OPS), i32, lhs, rhs)
+        result = state.builder.binop(rng.choice(_arith_ops(shape)), i32, lhs, rhs)
     state.values.append(result)
 
 
@@ -181,12 +200,12 @@ def _emit_diamond(state: _GenState, shape: FunctionShape) -> None:
     builder.cond_br(condition, then_label, else_label)
     builder.block(then_label)
     then_value = builder.binop(
-        rng.choice(_ARITH_OPS), i32, state.pick_value(), state.pick_value()
+        rng.choice(_arith_ops(shape)), i32, state.pick_value(), state.pick_value()
     )
     builder.br(join_label)
     builder.block(else_label)
     else_value = builder.binop(
-        rng.choice(_ARITH_OPS), i32, state.pick_value(), state.pick_value()
+        rng.choice(_arith_ops(shape)), i32, state.pick_value(), state.pick_value()
     )
     builder.br(join_label)
     builder.block(join_label)
@@ -225,7 +244,7 @@ def _emit_loop(state: _GenState, shape: FunctionShape, depth: int = 0) -> None:
     current = accum
     for _ in range(shape.loop_body_ops):
         current = builder.binop(
-            rng.choice(_ARITH_OPS), i32, current, rng.choice(local_values)
+            rng.choice(_arith_ops(shape)), i32, current, rng.choice(local_values)
         )
     if shape.nested_loops and depth == 0:
         # An inner counted loop whose accumulator feeds the outer body.
@@ -291,6 +310,54 @@ def _emit_cast_chain(state: _GenState) -> None:
         narrow = builder.cast("trunc", source, i32, i16)
         bumped = builder.binop("xor", i16, narrow, rng.randrange(0, 255))
         state.values.append(builder.cast("zext", bumped, i16, i32))
+
+
+#: Multipliers ISel's ``mul_decompose`` rewrites into shift/add chains.
+_MUL_GUARD_CONSTANTS = (3, 5, 7, 9)
+
+
+def _emit_mul_guard(state: _GenState, shape: FunctionShape) -> None:
+    """An i8 multiply-by-constant guarding a diamond, product kept live.
+
+    The multiplicand is always the first parameter, so every guard across a
+    corpus shares the ``trunc(p0) * C`` sub-circuit — campaign-scoped
+    incremental solving can transfer learned clauses between functions
+    while the varying guard predicate and diamond bodies keep the overall
+    goals distinct (no query-cache hits to mask the solver work).
+    """
+    rng = state.rng
+    builder = state.builder
+    then_label = state.fresh_label("multhen")
+    else_label = state.fresh_label("mulelse")
+    join_label = state.fresh_label("muljoin")
+    base = state.values[0]
+    narrow = builder.cast("trunc", base, i32, i8)
+    constant = ir.ConstInt(rng.choice(_MUL_GUARD_CONSTANTS), i8)
+    product = builder.binop("mul", i8, narrow, constant)
+    other = state.pick_value()
+    if isinstance(other, ir.ConstInt):
+        other = state.values[-1]
+    bound = builder.cast("trunc", other, i32, i8)
+    condition = builder.icmp(
+        rng.choice(("slt", "ult", "sle", "ne")), i8, product, bound
+    )
+    builder.cond_br(condition, then_label, else_label)
+    builder.block(then_label)
+    then_value = builder.binop(
+        rng.choice(_arith_ops(shape)), i32, state.pick_value(), state.pick_value()
+    )
+    builder.br(join_label)
+    builder.block(else_label)
+    else_value = builder.binop(
+        rng.choice(_arith_ops(shape)), i32, state.pick_value(), state.pick_value()
+    )
+    builder.br(join_label)
+    builder.block(join_label)
+    joined = builder.phi(
+        i32, [(then_value, then_label), (else_value, else_label)]
+    )
+    wide = builder.cast("zext", product, i8, i32)
+    state.values.append(builder.binop("add", i32, joined, wide))
 
 
 def _emit_call(state: _GenState) -> None:

@@ -170,3 +170,56 @@ class TestLearnedClausePersistence:
             assert solver.solve(assumptions=[-xs[0], -xs[2]]) is SatResult.SAT
             assert solver.solve(assumptions=[-xs[1], -xs[3]]) is SatResult.SAT
         assert solver.stats.solve_calls == 10
+
+
+class TestPrefixConflictLearning:
+    """Conflicts inside the assumption prefix still yield learned clauses.
+
+    ``_analyze_prefix`` resolves such a conflict down to the reason-less
+    frontier: negations of the assumptions used stay in the clause, parked
+    root-implied units resolve away.  The result is implied by the clause
+    database alone, so it is learnable permanently — later calls with the
+    same hostile assumption set refute by unit propagation instead of
+    re-searching.
+    """
+
+    def test_prefix_conflict_learns_assumption_core_clause(self):
+        solver = SatSolver()
+        a, b, c, d = fresh_vars(solver, 4)
+        # Assuming b propagates c and d, which together falsify the third
+        # clause — a genuine conflict inside the assumption prefix (both
+        # pseudo-decision levels are assumptions, no real decision taken).
+        solver.add_clause([-b, c])
+        solver.add_clause([-b, d])
+        solver.add_clause([-a, -c, -d])
+        assert solver.solve(assumptions=[a, b]) is SatResult.UNSAT
+        assert solver.stats.decisions == 0
+        learned = [cl for cl in solver._clauses if cl.learned]
+        assert len(learned) == 1  # the assumption-core clause (-a or -b)
+        assert set(learned[0].literals) == {-a, -b}
+        # The learned clause is DB-implied: dropping either assumption
+        # must still be SAT, and re-running the hostile set stays UNSAT.
+        assert solver.solve(assumptions=[a, b]) is SatResult.UNSAT
+        assert solver.solve(assumptions=[a]) is SatResult.SAT
+        assert solver.solve(assumptions=[b]) is SatResult.SAT
+        assert solver.solve() is SatResult.SAT
+
+    def test_prefix_clause_drops_reasonless_units(self):
+        solver = SatSolver()
+        a, b, c, d, u = fresh_vars(solver, 5)
+        solver.add_clause([u])  # root unit, assigned without a reason
+        solver.add_clause([-b, c])
+        solver.add_clause([-b, d])
+        solver.add_clause([-u, -c, -d])
+        assert solver.solve(assumptions=[a, b]) is SatResult.UNSAT
+        # The prefix resolution keeps assumption negations but drops the
+        # reason-less root unit entirely (it is DB-implied), leaving the
+        # unit clause (-b) — parked, then asserted at the next root visit.
+        assert all(
+            set(cl.literals) <= {-a, -b}
+            for cl in solver._clauses
+            if cl.learned
+        )
+        assert solver.solve(assumptions=[a]) is SatResult.SAT
+        assert solver.model_value(b) is False  # the parked unit stuck
+        assert solver.model_value(u) is True

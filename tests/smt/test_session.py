@@ -181,6 +181,122 @@ class TestSessionCacheInterplay:
             assert cache.stats.stores == 0
 
 
+class TestSyncPointRetraction:
+    """Assumption sets ride per sync point; retracting one must fully
+    release its constraints for every later point."""
+
+    def test_retracted_assumptions_do_not_constrain_later_points(self):
+        x = bv("x")
+        low = t.ult(x, const(5))
+        high = t.ult(const(10), x)
+        solver = Solver()
+        with solver.session() as session:
+            # Point 1: under "x < 5" the goal "x > 10" is UNSAT — and the
+            # refutation happens at assumption levels, the case where a
+            # careless learner would bake "x < 5" into the clause DB.
+            assert session.check(high, assumptions=[low]) is Result.UNSAT
+            # Point 2: "x < 5" is retracted; x = 200 must be reachable.
+            assert session.check(high) is Result.SAT
+            assert (
+                session.check(t.eq(x, const(200)), assumptions=[high])
+                is Result.SAT
+            )
+            # Point 3: revisit point 1's assumption set — still UNSAT.
+            assert session.check(high, assumptions=[low]) is Result.UNSAT
+
+    def test_alternating_contradictory_points(self):
+        x = bv("x")
+        even = t.eq(t.extract(x, 0, 0), t.bv_const(0, 1))
+        odd = t.eq(t.extract(x, 0, 0), t.bv_const(1, 1))
+        solver = Solver()
+        with solver.session() as session:
+            for _ in range(3):
+                assert session.check(odd, assumptions=[even]) is Result.UNSAT
+                assert session.check(even, assumptions=[even]) is Result.SAT
+                assert session.check(even, assumptions=[odd]) is Result.UNSAT
+                assert session.check(odd, assumptions=[odd]) is Result.SAT
+
+
+class TestAssumptionOrderCanonicalization:
+    """Permuted assumption sets are one query: one memo key, one verdict."""
+
+    def test_permuted_assumptions_hit_same_memo_entry(self):
+        x, y = bv("x"), bv("y")
+        a = t.ult(x, const(50))
+        b = t.ult(y, x)
+        delta = t.eq(t.bvand(t.add(x, y), const(31)), const(17))
+        solver = Solver()
+        with solver.session() as session:
+            first = session.check(delta, assumptions=(a, b))
+            fast_before = solver.stats.fast_path
+            second = session.check(delta, assumptions=(b, a))
+        assert second is first
+        assert solver.stats.fast_path == fast_before + 1  # memo hit
+
+    def test_permuted_assumptions_share_query_cache_entry(self):
+        x, y = bv("x"), bv("y")
+        a = t.ult(x, const(50))
+        b = t.ult(y, x)
+        delta = t.eq(t.bvand(t.mul(x, y), const(31)), const(17))
+        cache = QueryCache()
+        first_solver = Solver(cache=cache)
+        with first_solver.session() as session:
+            first = session.check(delta, assumptions=(a, b))
+        second_solver = Solver(cache=cache)
+        hits_before = second_solver.stats.cache_hits
+        with second_solver.session() as session:
+            second = session.check(delta, assumptions=(b, a))
+        assert second is first
+        assert second_solver.stats.cache_hits == hits_before + 1
+
+    def test_order_and_duplicates_normalize(self):
+        from repro.smt.solver import canonical_assumption_order
+
+        x = bv("x")
+        a = t.ult(x, const(50))
+        b = t.ult(const(10), x)
+        assert canonical_assumption_order([a, b, a]) == (
+            canonical_assumption_order([b, a, b])
+        )
+
+
+class TestGenerationRestart:
+    """A campaign core past its ``max_vars`` ceiling restarts cleanly."""
+
+    def test_max_vars_triggers_reset_and_keeps_verdicts(self):
+        from repro.smt.solver import SessionCore
+
+        x, y = bv("x"), bv("y")
+        core = SessionCore(scope="campaign", max_vars=40)
+        deltas = [
+            t.eq(t.mul(x, t.add(x, const(1))), const(2 * i + 1))
+            for i in range(4)
+        ]
+        verdicts = []
+        for delta in deltas:  # one session per "function", shared core
+            solver = Solver()
+            with solver.session(core=core) as session:
+                verdicts.append(session.check(delta))
+        # Products of consecutive integers are even: all UNSAT, across
+        # at least one generation restart.
+        assert verdicts == [Result.UNSAT] * len(deltas)
+        assert core.resets > 0
+
+    def test_zero_ceiling_disables_restarts(self):
+        from repro.smt.solver import SessionCore
+
+        x = bv("x")
+        core = SessionCore(scope="campaign", max_vars=0)
+        solver = Solver()
+        with solver.session(core=core) as session:
+            for value in (3, 7, 11):
+                assert (
+                    session.check(t.eq(t.mul(x, x), const(value * value)))
+                    is Result.SAT
+                )
+        assert core.resets == 0
+
+
 class TestSessionEquivalenceSweep:
     """Randomized-ish structural sweep: session == fresh on many goals."""
 
