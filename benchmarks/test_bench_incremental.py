@@ -44,7 +44,7 @@ UNSAT_OBLIGATIONS = 24
 SAT_OBLIGATIONS = 6
 CORPUS_SEED = 2021
 #: wall-clock lines excluded from the summary-identity comparison.
-_NONDETERMINISTIC_LINES = ("time:", "solver:", "session:")
+_NONDETERMINISTIC_LINES = ("time:", "solver:", "session:", "portfolio:")
 
 
 def _const(value):

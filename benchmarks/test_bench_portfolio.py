@@ -1,0 +1,235 @@
+"""Experiment: portfolio SAT solving on hard UNKNOWN-prone queries.
+
+A single CDCL configuration is hostage to its tie-breaking: a validation
+query that conjoins a genuinely hard obligation with an easily refutable
+one is decided in under a hundred conflicts if the solver happens to
+look at the refutable conjunct first — and after thousands if it locks
+onto the hard one (VSIDS starts from encoding order, so the conjunct
+order of the query decides the search landscape).  The portfolio
+(:mod:`repro.smt.portfolio`) races diverse configurations — including
+one that encodes the conjunction *reversed* — and takes the first
+definitive answer, so whichever orientation is lucky wins the race.
+
+Three experiments:
+
+- *hard-query suite*: miter conjunctions whose refutable member sits
+  last in encoding order.  ``--portfolio 4`` must return byte-identical
+  verdicts at a wall-clock speedup >= 1.2x (observed ~4-6x: the
+  reversed-form member refutes in its first slice while the single
+  solver grinds the hard head) with nonzero win counters.
+- *UNKNOWN refinement*: the same shape under a starved conflict budget.
+  The single solver burns the whole budget on the hard head and returns
+  UNKNOWN; the portfolio decides UNSAT — strictly refining the verdict —
+  and does so faster than the single solver took to give up.
+- *end to end*: the solver-bound corpus through the full validator with
+  ``KeqOptions.portfolio`` 4 vs 1 — verdicts and campaign summaries must
+  be byte-identical modulo timing/counter lines (the soundness half of
+  the portfolio contract; there is no speed assert here because these
+  queries are baseline-friendly and the race is pure overhead).
+
+Numbers land in ``BENCH_portfolio.json`` via the ``bench_json`` hook.
+"""
+
+import dataclasses
+import time
+
+from repro.smt import terms as t
+from repro.smt.solver import Result, Solver
+from repro.tv import TvOptions
+from repro.tv.batch import run_corpus
+from repro.workloads import solver_bound_corpus
+
+PORTFOLIO_WIDTH = 4
+FULL_BUDGET = 100_000
+#: starved budget for the refinement leg: far above what the reversed
+#: orientation needs (~75 conflicts) and far below the hard head.
+STARVED_BUDGET = 2_000
+CORPUS_SEED = 2021
+_NONDETERMINISTIC_LINES = ("time:", "solver:", "session:", "portfolio:")
+
+
+def _shiftadd(x, c, width):
+    acc = t.bv_const(0, width)
+    bit = 0
+    while c:
+        if c & 1:
+            acc = t.add(acc, t.shl(x, t.bv_const(bit, width)))
+        c >>= 1
+        bit += 1
+    return acc
+
+
+def _miter(width, c, name):
+    """``x*C != shiftadd(x, C)`` — UNSAT only via multiplier reasoning."""
+    x = t.bv_var(name, width)
+    return t.ne(t.mul(x, t.bv_const(c, width)), _shiftadd(x, c, width))
+
+
+def _hard_queries():
+    """Hard head first, refutable tail last — the unlucky orientation."""
+    shapes = [
+        (11, 0x2B5, 6, 0x2D),
+        (10, 0x15D, 6, 0x35),
+        (10, 0x1B7, 7, 0x55),
+    ]
+    return [
+        t.and_(_miter(hw, hc, "x"), _miter(sw, sc, "z"))
+        for hw, hc, sw, sc in shapes
+    ]
+
+
+def _timed_suite(queries, portfolio, budget=FULL_BUDGET):
+    """Best of two passes: (min wall seconds, last verdicts, last stats)."""
+    best = float("inf")
+    verdicts = None
+    stats = None
+    for _ in range(2):
+        solver = Solver(conflict_budget=budget, portfolio=portfolio)
+        started = time.perf_counter()
+        verdicts = [solver.check_sat(query) for query in queries]
+        best = min(best, time.perf_counter() - started)
+        stats = solver.stats
+    return best, verdicts, stats
+
+
+def test_bench_portfolio_vs_single(bench_json):
+    queries = _hard_queries()
+    t_single, single, _ = _timed_suite(queries, portfolio=1)
+    t_portfolio, raced, stats = _timed_suite(queries, PORTFOLIO_WIDTH)
+
+    # Soundness first: identical verdicts, all decided.
+    assert raced == single
+    assert all(verdict is Result.UNSAT for verdict in raced)
+    assert stats.portfolio_queries == len(queries)
+    wins = dict(stats.portfolio_wins_by_config)
+    assert sum(wins.values()) == len(queries)
+    assert wins.get("reversed-form", 0) > 0
+
+    speedup = t_single / t_portfolio
+    print(f"\nportfolio race ({len(queries)} hard-head conjunctions):")
+    print(f"  single:    {t_single:.3f}s")
+    print(f"  portfolio: {t_portfolio:.3f}s ({PORTFOLIO_WIDTH} members)")
+    print(f"  speedup:   {speedup:.2f}x  wins={wins}")
+
+    # The reproduction contract: first-answer-wins beats the single
+    # configuration materially (>= 1.2x; the observed margin is 4-6x, so
+    # the bound survives noisy CI boxes).
+    assert speedup >= 1.2
+
+    bench_json(
+        "portfolio",
+        {
+            "hard_suite": {
+                "queries": len(queries),
+                "width": PORTFOLIO_WIDTH,
+                "wall_seconds": {
+                    "single": round(t_single, 4),
+                    "portfolio": round(t_portfolio, 4),
+                },
+                "speedup": round(speedup, 3),
+                "wins_by_config": wins,
+            }
+        },
+    )
+
+
+def test_bench_portfolio_refines_unknown(bench_json):
+    query = _hard_queries()[0]
+
+    t_single, single, _ = _timed_suite([query], 1, budget=STARVED_BUDGET)
+    t_portfolio, raced, stats = _timed_suite(
+        [query], PORTFOLIO_WIDTH, budget=STARVED_BUDGET
+    )
+
+    # The starved single solver burns its budget on the hard head; the
+    # portfolio's reversed-form member refutes the tail inside its first
+    # slice.  Strict refinement: UNKNOWN -> UNSAT, never a flip.
+    assert single == [Result.UNKNOWN]
+    assert raced == [Result.UNSAT]
+    assert t_portfolio < t_single
+
+    print(
+        f"\nstarved budget {STARVED_BUDGET}: single=UNKNOWN in "
+        f"{t_single:.3f}s, portfolio=UNSAT in {t_portfolio:.3f}s"
+    )
+    bench_json(
+        "portfolio",
+        {
+            "unknown_refinement": {
+                "budget": STARVED_BUDGET,
+                "single": "UNKNOWN",
+                "portfolio": "UNSAT",
+                "wall_seconds": {
+                    "single": round(t_single, 4),
+                    "portfolio": round(t_portfolio, 4),
+                },
+                "wins_by_config": dict(stats.portfolio_wins_by_config),
+            }
+        },
+    )
+
+
+def _stable_summary(result) -> str:
+    return "\n".join(
+        line
+        for line in result.summary().splitlines()
+        if not line.startswith(_NONDETERMINISTIC_LINES)
+    )
+
+
+def test_bench_portfolio_end_to_end(bench_json):
+    corpus = solver_bound_corpus(seed=CORPUS_SEED)
+    base = TvOptions()
+    # Fresh (non-session) solving: sessions keep their scoped solver and
+    # only escalate to the portfolio on UNKNOWN, so the race engages on
+    # every query only along the fresh path.
+    single = dataclasses.replace(
+        base,
+        isel=dataclasses.replace(base.isel, mul_decompose=True),
+        keq=dataclasses.replace(
+            base.keq, incremental_solving=False, portfolio=1
+        ),
+    )
+    raced = dataclasses.replace(
+        single, keq=dataclasses.replace(single.keq, portfolio=PORTFOLIO_WIDTH)
+    )
+
+    started = time.perf_counter()
+    off = run_corpus(corpus, single, dedup=False)
+    t_off = time.perf_counter() - started
+    started = time.perf_counter()
+    on = run_corpus(corpus, raced, dedup=False)
+    t_on = time.perf_counter() - started
+
+    # The portfolio campaign report is verdict-identical to --portfolio 1:
+    # byte-identical summaries once timing/counter lines are filtered.
+    assert [(o.function, o.category) for o in on.outcomes] == [
+        (o.function, o.category) for o in off.outcomes
+    ]
+    assert _stable_summary(on) == _stable_summary(off)
+    assert on.solver_stats.portfolio_queries > 0
+    assert off.solver_stats.portfolio_queries == 0
+
+    print(
+        f"\nKEQ campaign (solver-bound corpus): single {t_off:.2f}s, "
+        f"portfolio({PORTFOLIO_WIDTH}) {t_on:.2f}s, "
+        f"portfolio_queries={on.solver_stats.portfolio_queries}"
+    )
+    bench_json(
+        "portfolio",
+        {
+            "keq_campaign": {
+                "corpus": "solver_bound",
+                "functions": len(on.outcomes),
+                "width": PORTFOLIO_WIDTH,
+                "wall_seconds": {
+                    "single": round(t_off, 3),
+                    "portfolio": round(t_on, 3),
+                },
+                "portfolio_queries": on.solver_stats.portfolio_queries,
+                "wins_by_config": dict(
+                    on.solver_stats.portfolio_wins_by_config
+                ),
+            }
+        },
+    )

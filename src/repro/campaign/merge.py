@@ -158,7 +158,7 @@ class CampaignReport:
         ]
         for line in self.batch.summary().splitlines():
             if not include_timing and line.startswith(
-                ("time:", "solver:", "session:")
+                ("time:", "solver:", "session:", "portfolio:")
             ):
                 continue
             lines.append(line)
@@ -200,6 +200,9 @@ class CampaignStatus:
     #: solver session): scope label, checks, clauses_reused, subsumed,
     #: strengthened, evicted, probe_failed_literals.
     session_counters: dict | None = None
+    #: merged portfolio counters (None when no portfolio race ran):
+    #: queries, wins-by-config, vars_eliminated, clauses_blocked.
+    portfolio_counters: dict | None = None
 
     @property
     def complete(self) -> bool:
@@ -237,6 +240,18 @@ class CampaignStatus:
                 f" evicted={counters['evicted']}"
                 f" probe_failed_literals={counters['probe_failed_literals']}"
             )
+        if self.portfolio_counters:
+            counters = self.portfolio_counters
+            wins = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(counters["wins"].items())
+            )
+            lines.append(
+                f"portfolio: queries={counters['queries']}"
+                f" wins=[{wins}]"
+                f" vars_eliminated={counters['vars_eliminated']}"
+                f" clauses_blocked={counters['clauses_blocked']}"
+            )
         if self.halts:
             lines.append(f"halts: {self.halts}")
         lines.extend(shard.render() for shard in self.shards)
@@ -270,6 +285,7 @@ def build_status(manifest: dict, state: JournalState) -> CampaignStatus:
         worker_deaths=state.worker_deaths,
         duplicates=state.duplicates,
         session_counters=session_counters(report.batch.solver_stats),
+        portfolio_counters=portfolio_counters(report.batch.solver_stats),
     )
 
 
@@ -286,4 +302,17 @@ def session_counters(stats) -> dict | None:
         "strengthened": stats.clauses_strengthened,
         "evicted": stats.clauses_evicted,
         "probe_failed_literals": stats.probe_failed_literals,
+    }
+
+
+def portfolio_counters(stats) -> dict | None:
+    """Render-ready portfolio-race counters, or None when the merged stats
+    show no portfolio activity (``--portfolio 1`` runs)."""
+    if not stats or not stats.portfolio_queries:
+        return None
+    return {
+        "queries": stats.portfolio_queries,
+        "wins": dict(sorted(stats.portfolio_wins_by_config.items())),
+        "vars_eliminated": stats.vars_eliminated,
+        "clauses_blocked": stats.clauses_blocked,
     }

@@ -58,6 +58,7 @@ from repro.tv.batch import corpus_overrides
 from repro.tv.dedup import plan_dedup
 from repro.tv.driver import Category, TvOptions, TvOutcome
 from repro.tv.parallel import Worker, hard_budget
+from repro.util import available_cpus
 from repro.workloads import EXTERNAL_CALLEES, gcc_like_corpus
 
 logger = logging.getLogger(__name__)
@@ -106,12 +107,17 @@ class CampaignConfig:
     #: (one session per function pair), or "campaign" (one
     #: :class:`repro.smt.SessionCore` per worker process).
     session_scope: str = "function"
+    #: solver portfolio width: 1 = single solver (historical behaviour),
+    #: N > 1 races that many diverse configurations per fresh/escalated
+    #: query, 0 = auto (one member per available CPU).
+    portfolio: int = 1
 
 
 def _base_options(
     wall_budget: float | None,
     incremental: bool = True,
     session_scope: str = "function",
+    portfolio: int = 1,
 ) -> TvOptions:
     if wall_budget is None:
         options = TvOptions()
@@ -119,6 +125,7 @@ def _base_options(
         options = TvOptions.for_campaign(wall_budget_seconds=wall_budget)
     options.keq.incremental_solving = incremental
     options.keq.session_scope = session_scope
+    options.keq.portfolio = portfolio
     return options
 
 
@@ -200,7 +207,10 @@ def prepare_campaign(
         }
     module = corpus.build_module()
     base = _base_options(
-        config.wall_budget, config.incremental, config.session_scope
+        config.wall_budget,
+        config.incremental,
+        config.session_scope,
+        config.portfolio,
     )
     overrides = corpus_overrides(corpus, base)
     names = list(module.functions)
@@ -244,6 +254,7 @@ def prepare_campaign(
         "validate": _validate_ref(config.validate),
         "incremental": config.incremental,
         "session_scope": config.session_scope,
+        "portfolio": config.portfolio,
         "functions": names,
         "run_names": run_names,
         "replay": replay,
@@ -305,6 +316,7 @@ def prepare_resume(
         manifest["wall_budget"],
         manifest.get("incremental", True),
         manifest.get("session_scope", "function"),
+        manifest.get("portfolio", 1),
     )
     overrides = corpus_overrides(corpus, base)
     state = load_state(directory)
@@ -472,7 +484,7 @@ def _drive(
     """
     if not jobs:
         return
-    cores = os.cpu_count() or 1
+    cores = available_cpus()
     if validate is None and pool_size > cores:
         logger.info(
             "clamping jobs=%d to cpu_count=%d (avoiding oversubscription)",

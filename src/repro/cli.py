@@ -58,6 +58,7 @@ def _tv_options(args) -> TvOptions:
             max_steps=args.max_steps,
             incremental_solving=not getattr(args, "no_incremental", False),
             session_scope=getattr(args, "session_scope", "function"),
+            portfolio=getattr(args, "portfolio", 1),
         ),
         imprecise_liveness=args.imprecise_liveness,
     )
@@ -163,6 +164,7 @@ def cmd_campaign_run(args) -> int:
         options = TvOptions.for_campaign(wall_budget_seconds=args.wall_budget)
         options.keq.incremental_solving = not args.no_incremental
         options.keq.session_scope = args.session_scope
+        options.keq.portfolio = args.portfolio
         result = run_corpus(
             corpus,
             options,
@@ -191,6 +193,7 @@ def cmd_campaign_run(args) -> int:
         validate=_campaign_injection(args),
         incremental=not args.no_incremental,
         session_scope=args.session_scope,
+        portfolio=args.portfolio,
     )
     print(f"campaign: {args.dir} (shards={args.shards}, jobs={jobs})")
     try:
@@ -242,6 +245,7 @@ def cmd_service_coordinate(args) -> int:
         cache_dir=args.cache_dir,
         dedup=not args.no_dedup,
         strategy=args.strategy,
+        portfolio=args.portfolio,
     )
     service = ServiceConfig(
         host=args.host,
@@ -296,6 +300,8 @@ def cmd_service_worker(args) -> int:
             jobs=args.jobs,
             validate=validate,
             cache_dir=args.cache_dir,
+            recv_timeout=args.recv_timeout or None,
+            recv_retries=args.recv_retries,
         )
     )
     signal.signal(signal.SIGTERM, lambda signum, frame: worker.request_drain())
@@ -368,6 +374,14 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["point", "function", "campaign"],
             default="function",
             help="solver-session reuse scope (default: function)",
+        )
+        p.add_argument(
+            "--portfolio",
+            type=int,
+            default=1,
+            metavar="N",
+            help="race N diverse solver configurations per query"
+            " (default: 1 = single solver; 0 = one per available CPU)",
         )
         p.add_argument(
             "--proof",
@@ -448,6 +462,14 @@ def build_parser() -> argparse.ArgumentParser:
         " campaign = one long-lived solver core per worker)",
     )
     run.add_argument(
+        "--portfolio",
+        type=int,
+        default=1,
+        metavar="N",
+        help="race N diverse solver configurations per fresh/escalated"
+        " query (default: 1 = single solver; 0 = one per available CPU)",
+    )
+    run.add_argument(
         "--halt-on-worker-death",
         action="store_true",
         help="stop the supervisor at the first worker death instead of"
@@ -509,6 +531,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="size_balanced",
     )
     coordinate.add_argument("--no-dedup", action="store_true")
+    coordinate.add_argument(
+        "--portfolio",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solver portfolio width advertised to workers (default: 1;"
+        " 0 = each worker auto-sizes to its available CPUs)",
+    )
     coordinate.add_argument("--host", default="127.0.0.1")
     coordinate.add_argument(
         "--port",
@@ -545,6 +575,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="override the coordinator-advertised query cache directory"
         " (for hosts without the shared filesystem; '' disables)",
+    )
+    worker.add_argument(
+        "--recv-timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for any coordinator reply before treating"
+        " the connection as silently dead (default: 60; 0 = wait forever)",
+    )
+    worker.add_argument(
+        "--recv-retries",
+        type=int,
+        default=2,
+        help="reconnect-and-resend attempts after a silent timeout before"
+        " reporting the coordinator lost and exiting nonzero (default: 2)",
     )
     worker.add_argument(
         "--inject-kill-worker-once",

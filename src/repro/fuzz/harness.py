@@ -25,6 +25,7 @@ from repro.fuzz.oracles import (
     check_implication_forms,
     check_incremental_vs_fresh,
     check_model_soundness,
+    check_portfolio_vs_single,
     check_simplify_eval,
 )
 from repro.fuzz.shrink import shrink
@@ -192,7 +193,14 @@ def run_fuzz(
                 iteration,
             )
 
-        # 7. cache outcome-identity over the recent query batch.
+        # 7. portfolio race vs single solver on the iteration's formula.
+        #    Every other iteration (alternating with oracle 6) — the race
+        #    solves the formula up to PORTFOLIO_WIDTH + 1 times.
+        if iteration % 2 == 1:
+            ran("portfolio-vs-single")
+            record(check_portfolio_vs_single(formula), iteration)
+
+        # 8. cache outcome-identity over the recent query batch.
         pending_cache_batch.append(formula)
         pending_cache_batch.append(small)
         if (iteration + 1) % CACHE_CHECK_EVERY == 0:

@@ -22,7 +22,10 @@ on mutated witnesses.  The layers cross-checked:
   SAT/UNSAT verdicts, and session models must satisfy the combined goal;
 - *function-scoped* sessions — one session spanning several sync-point
   assumption sets, with retraction, revisits, and permuted assumption
-  order — against fresh solving on the plain conjunctions.
+  order — against fresh solving on the plain conjunctions;
+- portfolio races (:mod:`repro.smt.portfolio`) against single-solver
+  runs — decided verdicts must agree, portfolio models must replay, and
+  a portfolio UNKNOWN requires every member exhausted.
 
 Oracles never raise on stack bugs — they return violations — but they are
 allowed to raise on harness bugs (e.g. mis-sorted generated terms), which
@@ -38,7 +41,9 @@ from typing import Callable, Sequence
 from repro.fuzz.generator import deterministic_env, deterministic_select
 from repro.smt import terms as t
 from repro.smt.eval import EvalError, evaluate
+from repro.smt.portfolio import run_portfolio
 from repro.smt.printer import to_str
+from repro.smt.sat import SatResult
 from repro.smt.simplify import simplify
 from repro.smt.solver import Result, Solver
 from repro.smt.terms import BOOL, Term
@@ -529,4 +534,69 @@ def check_function_session_vs_fresh(
         detail=detail,
         witnesses=witnesses,
         predicate=lambda ws: _function_session_disagreement(ws) is not None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Oracle 8: portfolio races agree with single-solver runs
+# ---------------------------------------------------------------------------
+
+#: portfolio width for the oracle — the baseline plus two diverse members
+#: exercises polarity and restart-policy diversification cheaply.
+PORTFOLIO_WIDTH = 3
+
+
+def _portfolio_disagreement(formula: Term) -> str | None:
+    """Portfolio vs single-solver differential on one formula.
+
+    Decided verdicts must agree (every member is a sound decider).  A
+    portfolio SAT model must replay through the reference interpreter — a
+    win by a diversified encoding (reversed form, eliminated variables)
+    with a corrupt model would surface here.  A portfolio UNKNOWN must
+    mean *every* member exhausted its budget (first-answer-wins may never
+    give up early).  UNKNOWN-vs-decided divergence is not a defect —
+    sliced member searches and the monolithic single run may give up at
+    different points — so those comparisons are skipped, mirroring the
+    other budget-sensitive oracles.
+    """
+    if formula.sort is not BOOL:
+        return None
+    single = Solver(conflict_budget=ORACLE_BUDGET).check_sat(formula)
+    portfolio_solver = Solver(
+        conflict_budget=ORACLE_BUDGET, portfolio=PORTFOLIO_WIDTH
+    )
+    raced = portfolio_solver.check_sat(formula, need_model=True)
+    if Result.UNKNOWN not in (single, raced) and single is not raced:
+        return f"single solver {single.value}, portfolio {raced.value}"
+    if raced is Result.SAT:
+        model = portfolio_solver.last_model
+        if model is None:
+            return "portfolio SAT with need_model=True but last_model is None"
+        detail = _model_violation(formula, model)
+        if detail is not None:
+            return f"portfolio {detail}"
+    if raced is Result.UNKNOWN:
+        outcome = run_portfolio(
+            simplify(formula), ORACLE_BUDGET, width=PORTFOLIO_WIDTH
+        )
+        if outcome.result is SatResult.UNKNOWN and len(
+            outcome.exhausted
+        ) != PORTFOLIO_WIDTH:
+            return (
+                f"portfolio UNKNOWN with only {sorted(outcome.exhausted)}"
+                f" exhausted (width {PORTFOLIO_WIDTH})"
+            )
+    return None
+
+
+def check_portfolio_vs_single(formula: Term) -> Violation | None:
+    """Portfolio races must refine, never contradict, single-solver runs."""
+    detail = _portfolio_disagreement(formula)
+    if detail is None:
+        return None
+    return Violation(
+        oracle="portfolio-vs-single",
+        detail=detail,
+        witnesses=(formula,),
+        predicate=lambda ws: _portfolio_disagreement(ws[0]) is not None,
     )

@@ -71,6 +71,11 @@ class KeqOptions:
     #: function scope when no core is supplied.
     session_scope: str = "function"
     solver_conflict_budget: int = 100_000
+    #: solver portfolio width — 1 keeps the historical single solver,
+    #: N > 1 races that many diverse CDCL configurations on fresh and
+    #: session-escalated queries (first definitive answer wins), 0 = auto
+    #: (one member per available CPU).  See :mod:`repro.smt.portfolio`.
+    portfolio: int = 1
     record_proof: bool = False  # build a machine-checkable witness
     #: wall-clock budget per function — the paper's actual mechanism (a
     #: 3-hour limit per verification run).  None disables it; the batch
@@ -108,7 +113,8 @@ class Keq:
         self.acceptability = acceptability or default_acceptability()
         self.options = options or KeqOptions()
         self.solver = solver or Solver(
-            conflict_budget=self.options.solver_conflict_budget
+            conflict_budget=self.options.solver_conflict_budget,
+            portfolio=self.options.portfolio,
         )
         #: campaign-scoped solver state shared across functions (owned by
         #: the batch/service worker; only used when

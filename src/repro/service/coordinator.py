@@ -274,6 +274,7 @@ class Coordinator:
             "wall_budget": manifest["wall_budget"],
             "incremental": manifest.get("incremental", True),
             "session_scope": manifest.get("session_scope", "function"),
+            "portfolio": manifest.get("portfolio", 1),
             "imprecise": self._imprecise,
             "cache_dir": manifest["cache_dir"],
             "validate": manifest.get("validate"),
@@ -552,7 +553,7 @@ def serve_campaign(
 def query_status(address: str, timeout: float = 5.0) -> dict:
     """Ask a live coordinator for its status (the ``repro service
     status`` command)."""
-    channel = connect(address, retries=1, timeout=timeout)
+    channel = connect(address, retries=1, timeout=timeout, recv_timeout=timeout)
     try:
         return channel.request({"type": "status"})
     finally:

@@ -88,12 +88,18 @@ class LeaseTable:
 
     def release_worker(self, worker_id: str) -> list[Lease]:
         """Settle every lease of a departing worker (graceful goodbye
-        with units still in flight)."""
-        mine = [
-            lease
-            for lease in self._by_id.values()
-            if lease.worker_id == worker_id
-        ]
+        with units still in flight).  Returned in ``lease_id`` order —
+        the same order :meth:`outstanding` reports — so the coordinator's
+        re-queue and journal line order never depend on dict insertion
+        history."""
+        mine = sorted(
+            (
+                lease
+                for lease in self._by_id.values()
+                if lease.worker_id == worker_id
+            ),
+            key=lambda lease: lease.lease_id,
+        )
         for lease in mine:
             del self._by_id[lease.lease_id]
             del self._unit_to_id[lease.unit]
@@ -104,13 +110,18 @@ class LeaseTable:
         """Pop and return every lease past its deadline.
 
         Each lease can be returned by exactly one ``expire`` call —
-        popping is what makes the re-queue exactly-once.
+        popping is what makes the re-queue exactly-once.  Returned in
+        ``lease_id`` order (grant order), matching :meth:`outstanding`,
+        so concurrent-expiry re-queue order is deterministic.
         """
-        dead = [
-            lease
-            for lease in self._by_id.values()
-            if lease.expires_at <= now
-        ]
+        dead = sorted(
+            (
+                lease
+                for lease in self._by_id.values()
+                if lease.expires_at <= now
+            ),
+            key=lambda lease: lease.lease_id,
+        )
         for lease in dead:
             del self._by_id[lease.lease_id]
             del self._unit_to_id[lease.unit]

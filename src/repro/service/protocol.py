@@ -34,6 +34,16 @@ Message types (worker → coordinator / coordinator → worker):
 Anything malformed — oversized frames, torn frames, non-object payloads —
 raises :class:`ProtocolError`; a clean EOF *between* frames reads as
 ``None`` so connection teardown is distinguishable from corruption.
+
+A socket that produces *nothing* is the remaining failure mode: a
+coordinator host that is powered off or partitioned (no RST, no FIN)
+leaves a blocking ``recv`` waiting forever.  :func:`connect` therefore
+accepts a ``recv_timeout`` applied to the established socket; a reply
+that fails to arrive in time raises :class:`ProtocolTimeout` *after
+closing the socket* — a timed-out channel may have a half-read frame in
+flight, so resuming on it would desynchronise the framing.  Callers
+reconnect or give up (the worker does a bounded number of reconnect
+attempts before reporting the coordinator lost).
 """
 
 from __future__ import annotations
@@ -52,6 +62,15 @@ _HEADER = struct.Struct("!I")
 
 class ProtocolError(RuntimeError):
     """Malformed traffic or a connection lost mid-frame."""
+
+
+class ProtocolTimeout(ProtocolError):
+    """No reply within ``recv_timeout``; the channel has been closed.
+
+    Subclasses :class:`ProtocolError` so existing "connection lost"
+    handling catches it, while callers that want to *retry on silence
+    specifically* (the worker's bounded reconnect loop) can match it.
+    """
 
 
 def parse_address(address: str) -> tuple[str, int]:
@@ -121,8 +140,17 @@ class MessageChannel:
 
     def request(self, message: dict) -> dict:
         with self._lock:
-            send_message(self.sock, message)
-            reply = recv_message(self.sock)
+            try:
+                send_message(self.sock, message)
+                reply = recv_message(self.sock)
+            except socket.timeout as error:
+                # A half-read frame may be in flight; the socket can no
+                # longer be trusted to stay frame-aligned.  Close it so
+                # the caller's only option is a clean reconnect.
+                self.close()
+                raise ProtocolTimeout(
+                    "no reply from peer within the receive timeout"
+                ) from error
         if reply is None:
             raise ProtocolError("peer closed the connection")
         if reply.get("type") == "error":
@@ -143,8 +171,14 @@ def connect(
     retries: int = 40,
     backoff_seconds: float = 0.25,
     timeout: float | None = None,
+    recv_timeout: float | None = None,
 ) -> MessageChannel:
-    """Dial ``host:port``, retrying while the coordinator comes up."""
+    """Dial ``host:port``, retrying while the coordinator comes up.
+
+    ``timeout`` bounds the connection attempt; ``recv_timeout`` stays on
+    the established socket and bounds every subsequent reply wait (None
+    preserves the historical block-forever behaviour).
+    """
     import time
 
     host, port = parse_address(address)
@@ -152,7 +186,7 @@ def connect(
     for _ in range(max(1, retries)):
         try:
             sock = socket.create_connection((host, port), timeout=timeout)
-            sock.settimeout(None)
+            sock.settimeout(recv_timeout)
             return MessageChannel(sock)
         except OSError as error:
             last_error = error

@@ -40,9 +40,15 @@ from multiprocessing import connection as mp_connection
 from repro.campaign.journal import outcome_to_json
 from repro.campaign.supervisor import _base_options, _resolve_validate
 from repro.keq.report import FAILURE_CLASS_TIMEOUT
-from repro.service.protocol import MessageChannel, ProtocolError, connect
+from repro.service.protocol import (
+    MessageChannel,
+    ProtocolError,
+    ProtocolTimeout,
+    connect,
+)
 from repro.tv.driver import Category, TvOutcome
 from repro.tv.parallel import Worker, hard_budget
+from repro.util import available_cpus
 
 logger = logging.getLogger(__name__)
 
@@ -67,6 +73,14 @@ class WorkerConfig:
     #: at local scratch (or "" to disable persistence).
     cache_dir: str | None = None
     connect_retries: int = 40
+    #: seconds to wait for any coordinator reply before declaring the
+    #: connection silent (a powered-off or partitioned coordinator sends
+    #: neither data nor FIN, so a blocking recv would wait forever).
+    #: None restores the historical block-forever behaviour.
+    recv_timeout: float | None = 60.0
+    #: reconnect-and-resend attempts after a silent timeout before the
+    #: coordinator is reported lost and the worker exits nonzero.
+    recv_retries: int = 2
 
     def resolved_worker_id(self) -> str:
         if self.worker_id:
@@ -110,6 +124,7 @@ class ServiceWorker:
         self._server_drain = threading.Event()  # coordinator said drain
         self._lost = threading.Event()  # connection gone
         self._channel: MessageChannel | None = None
+        self._reconnect_lock = threading.Lock()
 
     def request_drain(self) -> None:
         """Finish in-flight units, report them, say goodbye, stop."""
@@ -119,16 +134,62 @@ class ServiceWorker:
 
     def _request(self, message: dict) -> dict | None:
         """One RPC; connection loss sets ``_lost`` instead of raising so
-        the drain/death paths degrade uniformly."""
-        channel = self._channel
-        if channel is None or self._lost.is_set():
-            return None
-        try:
-            return channel.request(message)
-        except (ProtocolError, OSError) as error:
-            logger.warning("coordinator connection lost: %s", error)
-            self._lost.set()
-            return None
+        the drain/death paths degrade uniformly.
+
+        A *silent* coordinator (recv timeout: no bytes, no FIN) gets a
+        bounded number of reconnect-and-resend attempts — every message
+        type is safe to re-issue (results are first-write-wins at the
+        coordinator, leases and heartbeats are idempotent per worker) —
+        before the coordinator is reported lost.
+        """
+        attempts = max(0, self.config.recv_retries) + 1
+        for attempt in range(attempts):
+            channel = self._channel
+            if channel is None or self._lost.is_set():
+                return None
+            try:
+                return channel.request(message)
+            except ProtocolTimeout as error:
+                logger.warning(
+                    "coordinator silent (attempt %d/%d): %s",
+                    attempt + 1,
+                    attempts,
+                    error,
+                )
+                if attempt + 1 == attempts or not self._reconnect(channel):
+                    break
+            except (ProtocolError, OSError) as error:
+                logger.warning("coordinator connection lost: %s", error)
+                self._lost.set()
+                return None
+        logger.error(
+            "coordinator lost: no reply from %s after %d attempts",
+            self.config.connect,
+            attempts,
+        )
+        self._lost.set()
+        return None
+
+    def _reconnect(self, stale: MessageChannel) -> bool:
+        """Replace a timed-out channel; False when the redial fails.
+
+        Lock-guarded so the heartbeat thread and the lease/result loop
+        don't both redial after the same silence; the loser of the race
+        just reuses the winner's fresh channel.
+        """
+        with self._reconnect_lock:
+            if self._channel is not stale:
+                return True  # another thread already replaced it
+            stale.close()
+            try:
+                self._channel = connect(
+                    self.config.connect,
+                    retries=1,
+                    recv_timeout=self.config.recv_timeout,
+                )
+            except ConnectionError:
+                return False
+            return True
 
     def _heartbeat_loop(self, interval: float) -> None:
         while not self._lost.is_set():
@@ -147,7 +208,11 @@ class ServiceWorker:
     def run(self) -> WorkerSummary:
         summary = WorkerSummary(worker_id=self.worker_id)
         config = self.config
-        self._channel = connect(config.connect, retries=config.connect_retries)
+        self._channel = connect(
+            config.connect,
+            retries=config.connect_retries,
+            recv_timeout=config.recv_timeout,
+        )
         try:
             welcome = self._channel.request(
                 {
@@ -164,6 +229,7 @@ class ServiceWorker:
             welcome.get("wall_budget"),
             welcome.get("incremental", True),
             welcome.get("session_scope", "function"),
+            welcome.get("portfolio", 1),
         )
         overrides = {
             name: dataclasses.replace(base, imprecise_liveness=True)
@@ -180,7 +246,7 @@ class ServiceWorker:
         wait_seconds = float(welcome.get("wait_seconds", 0.25))
 
         jobs = max(1, config.jobs)
-        cores = os.cpu_count() or 1
+        cores = available_cpus()
         if validate is None and jobs > cores:
             logger.info(
                 "clamping jobs=%d to cpu_count=%d (avoiding oversubscription)",

@@ -12,6 +12,8 @@ Section 2).  It provides:
 - :mod:`repro.smt.bitblast` — a Tseitin bit-blaster from terms to CNF.
 - :mod:`repro.smt.solver` — the solver façade used by KEQ, including the
   paper's positive-form query optimization (Section 3).
+- :mod:`repro.smt.portfolio` — a first-answer-wins race of diverse solver
+  configurations (``Solver(portfolio=N)``).
 """
 
 from repro.smt.terms import (
@@ -28,6 +30,12 @@ from repro.smt.terms import (
 )
 from repro.smt import terms as t
 from repro.smt.simplify import simplify, substitute
+from repro.smt.portfolio import (
+    PortfolioMember,
+    PortfolioResult,
+    portfolio_members,
+    run_portfolio,
+)
 from repro.smt.solver import (
     QueryStats,
     Result,
@@ -39,10 +47,14 @@ from repro.smt.cache import CacheStats, QueryCache
 
 __all__ = [
     "CacheStats",
+    "PortfolioMember",
+    "PortfolioResult",
     "QueryCache",
     "QueryStats",
     "SessionCore",
     "canonical_assumption_order",
+    "portfolio_members",
+    "run_portfolio",
     "BOOL",
     "BV1",
     "BV8",

@@ -31,16 +31,18 @@ uncached — would have returned ``UNKNOWN`` (and hence a deterministic
 TIMEOUT outcome in the campaign).  This keeps cached and uncached runs
 *outcome-identical*, not merely logically consistent.
 
-Entries produced by *incremental sessions* (:class:`SolverSession`) are
-keyed on the simplified combined goal — assumptions ∧ delta — exactly the
-key a fresh ``check_sat`` of the same conjunction would use, so the two
-paths share one namespace and can never cache contradictory results.  One
-caveat: a session's recorded cost counts only the conflicts of the
-deciding check, which may undershoot a from-scratch solve because the
-session inherited learned clauses from earlier checks.  Results remain
-sound and budget-monotone (a lookup under a *larger* budget than the
-recorded cost is always safe); only the exact UNKNOWN boundary of a
-cache-cold rerun is guaranteed for fresh-path entries alone.
+Only *fresh-path* answers are stored.  Incremental sessions
+(:class:`SolverSession`) and portfolio races consult the cache under the
+same key a fresh ``check_sat`` of the combined conjunction would use — the
+paths share one namespace and can never contradict each other — but their
+decided results are not stored back: a session's deciding check leans on
+clauses learned by earlier checks, and a portfolio win may come from a
+non-baseline configuration, so neither carries a fresh-equivalent cost.
+Storing an optimistic cost would let a later cached run decide under a
+small budget where an uncached fresh run returns ``UNKNOWN``, breaking the
+outcome-identity guarantee above (this was a real bug, found by the
+cached-vs-uncached differential oracle; see the session-cost regression
+test).
 """
 
 from __future__ import annotations

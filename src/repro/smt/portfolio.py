@@ -1,0 +1,323 @@
+"""Portfolio SAT solving: race diverse solver configurations per query.
+
+One CDCL configuration is rarely best for every query: a phase choice that
+cracks one multiplier equality in fifty conflicts can flounder for the
+whole budget on the next.  A portfolio runs N *diverse* configurations of
+the same (sound) solver over the same goal and takes the first definitive
+answer — a SAT whose model survives replay through the reference
+evaluator, or an UNSAT — cancelling the rest.  UNKNOWN is returned only
+when **every** member exhausts its conflict budget, so a portfolio run can
+only refine UNKNOWNs relative to a single-solver run, never flip a decided
+verdict (each member is sound, and sound deciders agree).
+
+Diversification axes (see :data:`DIVERSE_MEMBERS`):
+
+- initial phase (``SolverConfig.default_polarity``);
+- deterministic VSIDS activity seeding (``activity_seed``);
+- restart policy — Luby vs geometric;
+- query form — the goal conjunction reversed, which reorders the Tseitin
+  traversal and hence the whole variable/clause layout;
+- inprocessing aggressiveness — one member preprocesses with blocked-clause
+  elimination and bounded variable elimination before searching.
+
+Execution modes:
+
+- ``"interleave"`` (default): members run round-robin in one thread with
+  doubling conflict-budget slices; the first decision encountered wins.
+  Fully deterministic — the winner, the verdict, and every counter are a
+  function of the query alone, which the campaign layers' byte-identical
+  report discipline requires.
+- ``"threads"``: members race on real threads with an event-based
+  first-answer-wins cancellation.  The verdict is still deterministic
+  (soundness), but the *winner attribution* and conflict totals are
+  scheduling-dependent, so this mode is reserved for interactive use;
+  win counters only ever surface on timing-filtered report lines.
+
+The per-member budget equals the caller's full conflict budget, so "every
+member exhausted" is never cheaper than the single-solver UNKNOWN it
+replaces; slicing just lets a lucky configuration decide long before the
+unlucky ones finish burning theirs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.smt import terms as t
+from repro.smt.bitblast import BitBlaster
+from repro.smt.eval import EvalError, evaluate
+from repro.smt.sat import SatResult, SatSolver, SolverConfig
+from repro.smt.terms import Term
+from repro.util import available_cpus
+
+#: conflicts granted to a member in its first slice; doubles every round
+INITIAL_SLICE = 256
+#: slice doubling stops here (keeps ``give`` bounded for huge budgets)
+_MAX_SLICE_SHIFT = 16
+
+
+@dataclass(frozen=True)
+class PortfolioMember:
+    """One racer: a solver configuration plus encoding-level variations."""
+
+    name: str
+    sat: SolverConfig = SolverConfig()
+    #: encode the goal conjunction in reverse order (different Tseitin
+    #: traversal, hence a structurally different search problem)
+    reversed_form: bool = False
+    #: run elimination inprocessing (BCE + BVE) before searching
+    preprocess: bool = False
+    preprocess_budget: int = 20_000
+
+
+#: member 0 of every portfolio: the exact historical single-solver setup
+BASELINE = PortfolioMember(name="baseline")
+
+#: the diversification ladder; ``--portfolio N`` takes the first N - 1
+DIVERSE_MEMBERS = (
+    PortfolioMember("polarity-true", SolverConfig(default_polarity=True)),
+    PortfolioMember(
+        "geometric",
+        SolverConfig(restart_policy="geometric", restart_base=64),
+    ),
+    # Pure form diversity: the baseline configuration on the reversed
+    # conjunction.  Adding a seed nudge here would wash out the win on
+    # queries whose refutable conjunct sits late in encoding order.
+    PortfolioMember("reversed-form", reversed_form=True),
+    PortfolioMember("eliminate", preprocess=True),
+    PortfolioMember(
+        "polarity-geometric",
+        SolverConfig(
+            default_polarity=True, restart_policy="geometric", activity_seed=2
+        ),
+    ),
+    PortfolioMember("seeded-vsids", SolverConfig(activity_seed=3, var_decay=0.9)),
+    PortfolioMember(
+        "reversed-polarity",
+        SolverConfig(default_polarity=True, activity_seed=4),
+        reversed_form=True,
+    ),
+)
+
+#: widest useful portfolio: baseline plus every distinct diverse member
+MAX_WIDTH = 1 + len(DIVERSE_MEMBERS)
+
+
+def default_width() -> int:
+    """Auto width (``--portfolio 0``): one member per available CPU.
+
+    Uses :func:`repro.util.available_cpus` (cpuset/affinity aware), clamped
+    to the distinct configurations we actually have.
+    """
+    return max(2, min(MAX_WIDTH, available_cpus()))
+
+
+def portfolio_members(width: int) -> list[PortfolioMember]:
+    """The first ``width`` members; member 0 is always the baseline."""
+    width = max(1, min(MAX_WIDTH, width))
+    return [BASELINE, *DIVERSE_MEMBERS[: width - 1]]
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one race plus aggregated member counters."""
+
+    result: SatResult
+    winner: str | None = None
+    #: blaster of the winning member (model reads) — SAT only
+    winner_blaster: BitBlaster | None = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    vars_eliminated: int = 0
+    clauses_blocked: int = 0
+    #: members that ran out of budget (every member, on UNKNOWN)
+    exhausted: tuple[str, ...] = ()
+
+
+def verify_model(goal: Term, blaster: BitBlaster) -> bool:
+    """Replay a member's SAT model through the reference evaluator.
+
+    A portfolio SAT answer is only *definitive* once the model checks out
+    (the members' encodings differ, so this is the cheap cross-check that
+    an encoding-level diversification bug can never corrupt a verdict).
+    Select atoms are uninterpreted: their values are read back from the
+    blaster keyed by the evaluated offset, mirroring the fuzz oracles.
+    """
+    env: dict[str, int | bool] = {}
+    for var in t.free_vars(goal):
+        if var.sort is t.BOOL:
+            env[var.name] = blaster.model_bool(var)
+        else:
+            env[var.name] = blaster.model_bv(var)
+    select_values: dict[tuple[str, int, int], int] = {}
+    try:
+        stack = [goal]
+        seen: set[Term] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node.op == "select":
+                offset = evaluate(node.args[0], env)  # offsets are select-free
+                key = (node.attr[0], offset, node.attr[1])
+                select_values.setdefault(key, blaster.model_bv(node))
+            stack.extend(node.args)
+
+        def handler(array: str, offset: int, width: int) -> int:
+            return select_values.get((array, offset, width), 0)
+
+        return evaluate(goal, env, handler) is True
+    except EvalError:
+        return False
+
+
+class _Runner:
+    """One member's live solver state during a race."""
+
+    def __init__(self, member: PortfolioMember, goal: Term):
+        self.member = member
+        self.sat = SatSolver(member.sat)
+        self.blaster = BitBlaster(self.sat)
+        encoded = goal
+        if member.reversed_form and goal.op == "and":
+            encoded = t.conj(list(reversed(goal.args)))
+        self.blaster.assert_term(encoded)
+        if member.preprocess:
+            self.sat.inprocess(member.preprocess_budget, eliminate=True)
+        self.spent = 0
+        self.rounds = 0
+        self.exhausted = False
+
+    def slice_budget(self, conflict_budget: int | None) -> int | None:
+        give = INITIAL_SLICE << min(self.rounds, _MAX_SLICE_SHIFT)
+        if conflict_budget is None:
+            return give
+        return min(give, conflict_budget - self.spent)
+
+    def run_slice(self, conflict_budget: int | None) -> SatResult:
+        give = self.slice_budget(conflict_budget)
+        if give is not None and give <= 0:
+            self.exhausted = True
+            return SatResult.UNKNOWN
+        self.rounds += 1
+        before = self.sat.stats.conflicts
+        outcome = self.sat.solve(conflict_budget=give)
+        self.spent += self.sat.stats.conflicts - before
+        if (
+            outcome is SatResult.UNKNOWN
+            and conflict_budget is not None
+            and self.spent >= conflict_budget
+        ):
+            self.exhausted = True
+        return outcome
+
+
+def run_portfolio(
+    goal: Term,
+    conflict_budget: int | None,
+    width: int,
+    verify: bool = True,
+    mode: str = "interleave",
+) -> PortfolioResult:
+    """Race ``width`` diverse configurations on ``goal``.
+
+    ``goal`` is the full bit-blasting goal (simplified formula plus theory
+    lemmas) exactly as the single-solver path would assert it.  See the
+    module docstring for the execution modes and the verdict contract.
+    """
+    runners = [_Runner(member, goal) for member in portfolio_members(width)]
+    check = verify_model if verify else None
+    if mode == "threads":
+        return _race_threads(runners, goal, conflict_budget, check)
+    return _race_interleaved(runners, goal, conflict_budget, check)
+
+
+def _decisive(
+    runner: _Runner, outcome: SatResult, goal: Term, check
+) -> bool:
+    """True when a member's answer wins the race.
+
+    A SAT whose model fails replay is *not* definitive — the member is
+    dropped from the race instead of trusted (soundness over speed).
+    """
+    if outcome is SatResult.UNKNOWN:
+        return False
+    if outcome is SatResult.SAT and check is not None:
+        if not check(goal, runner.blaster):
+            runner.exhausted = True
+            return False
+    return True
+
+
+def _race_interleaved(
+    runners: list[_Runner],
+    goal: Term,
+    conflict_budget: int | None,
+    check,
+) -> PortfolioResult:
+    while True:
+        for runner in runners:
+            if runner.exhausted:
+                continue
+            outcome = runner.run_slice(conflict_budget)
+            if _decisive(runner, outcome, goal, check):
+                return _finish(runners, outcome, runner)
+        if all(runner.exhausted for runner in runners):
+            return _finish(runners, SatResult.UNKNOWN, None)
+
+
+def _race_threads(
+    runners: list[_Runner],
+    goal: Term,
+    conflict_budget: int | None,
+    check,
+) -> PortfolioResult:
+    stop = threading.Event()
+    lock = threading.Lock()
+    decided: list[tuple[SatResult, _Runner]] = []
+
+    def drive(runner: _Runner) -> None:
+        while not stop.is_set() and not runner.exhausted:
+            outcome = runner.run_slice(conflict_budget)
+            if _decisive(runner, outcome, goal, check):
+                with lock:
+                    if not decided:
+                        decided.append((outcome, runner))
+                stop.set()
+                return
+
+    threads = [
+        threading.Thread(target=drive, args=(runner,), daemon=True)
+        for runner in runners
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if decided:
+        outcome, winner = decided[0]
+        return _finish(runners, outcome, winner)
+    return _finish(runners, SatResult.UNKNOWN, None)
+
+
+def _finish(
+    runners: list[_Runner], outcome: SatResult, winner: _Runner | None
+) -> PortfolioResult:
+    result = PortfolioResult(result=outcome)
+    for runner in runners:
+        result.conflicts += runner.sat.stats.conflicts
+        result.decisions += runner.sat.stats.decisions
+        result.propagations += runner.sat.stats.propagations
+        result.vars_eliminated += runner.sat.stats.vars_eliminated
+        result.clauses_blocked += runner.sat.stats.clauses_blocked
+    result.exhausted = tuple(
+        runner.member.name for runner in runners if runner.exhausted
+    )
+    if winner is not None:
+        result.winner = winner.member.name
+        if outcome is SatResult.SAT:
+            result.winner_blaster = winner.blaster
+    return result

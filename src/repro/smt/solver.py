@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # cache.py imports Result from here; avoid the cycle.
 
 from repro.smt import terms as t
 from repro.smt.bitblast import BitBlaster
+from repro.smt.portfolio import default_width, run_portfolio
 from repro.smt.sat import SatResult, SatSolver
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term
@@ -80,6 +81,15 @@ class QueryStats:
     #: because a model was requested (``need_model=True``).  Not misses: the
     #: cache knew the result, the caller just needed more than the result.
     cache_hits_unused: int = 0
+    #: queries decided (or attempted) by the portfolio runner — fresh
+    #: misses under ``Solver(portfolio=N>1)`` plus session escalations
+    portfolio_queries: int = 0
+    #: variables removed by bounded variable elimination (portfolio members)
+    vars_eliminated: int = 0
+    #: clauses removed by blocked-clause elimination (portfolio members)
+    clauses_blocked: int = 0
+    #: decided portfolio races per winning configuration name
+    portfolio_wins_by_config: dict[str, int] = field(default_factory=dict)
     per_query_conflicts: list[int] = field(default_factory=list)
 
     def merge(self, other: "QueryStats") -> None:
@@ -106,6 +116,14 @@ class QueryStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_hits_unused += other.cache_hits_unused
+        self.portfolio_queries += other.portfolio_queries
+        self.vars_eliminated += other.vars_eliminated
+        self.clauses_blocked += other.clauses_blocked
+        for name in sorted(other.portfolio_wins_by_config):
+            self.portfolio_wins_by_config[name] = (
+                self.portfolio_wins_by_config.get(name, 0)
+                + other.portfolio_wins_by_config[name]
+            )
         self.per_query_conflicts.extend(other.per_query_conflicts)
 
 
@@ -357,8 +375,16 @@ class Solver:
         self,
         conflict_budget: int | None = 200_000,
         cache: "QueryCache | None" = None,
+        portfolio: int = 1,
     ):
         self.conflict_budget = conflict_budget
+        #: number of diverse solver configurations raced per fresh query
+        #: (1 = the historical single-solver path; 0/None = auto width from
+        #: the available CPUs).  Sessions keep their single scoped solver;
+        #: the portfolio serves fresh misses and session escalations only.
+        if not portfolio or portfolio < 0:
+            portfolio = default_width() if portfolio == 0 else 1
+        self.portfolio = portfolio
         self.stats = QueryStats()
         self.last_model: Model | None = None
         #: simplified goal -> Result.  KEQ re-issues many identical queries
@@ -392,6 +418,8 @@ class Solver:
             return fast
         bare_goal = goal
         goal = t.and_(goal, _ackermann_lemmas(goal), _comparison_lemmas(goal))
+        if self.portfolio > 1:
+            return self._portfolio_decide(bare_goal, goal, started)
         sat_solver = SatSolver()
         blaster = BitBlaster(sat_solver)
         blaster.assert_term(goal)
@@ -416,6 +444,49 @@ class Solver:
             return Result.UNSAT
         self.stats.unknowns += 1
         return Result.UNKNOWN
+
+    def _portfolio_decide(
+        self, bare_goal: Term, full_goal: Term, started: float
+    ) -> Result:
+        """Decide a query by racing diverse configurations.
+
+        ``full_goal`` is the lemma-augmented goal exactly as the
+        single-solver path would assert it; ``bare_goal`` is the memo key.
+        Every member is sound and a SAT only wins after its model replays
+        through the evaluator, so a decided answer here always matches
+        what any single-solver run that decides would say; UNKNOWN is
+        returned only when every member exhausted the budget.
+
+        Decided results feed the per-solver memo but **not** the shared
+        QueryCache: a diverse member's win carries no fresh-baseline cost,
+        and storing an optimistic one would let a cached run answer where
+        an uncached single-solver run returns UNKNOWN — the same
+        budget-monotonicity policy that keeps session results out of the
+        shared cache (see cache.py).
+        """
+        stats = self.stats
+        stats.sat_calls += 1
+        stats.portfolio_queries += 1
+        outcome = run_portfolio(full_goal, self.conflict_budget, self.portfolio)
+        stats.conflicts += outcome.conflicts
+        stats.decisions += outcome.decisions
+        stats.propagations += outcome.propagations
+        stats.vars_eliminated += outcome.vars_eliminated
+        stats.clauses_blocked += outcome.clauses_blocked
+        stats.per_query_conflicts.append(outcome.conflicts)
+        stats.time_seconds += time.perf_counter() - started
+        if outcome.result is SatResult.UNKNOWN:
+            stats.unknowns += 1
+            return Result.UNKNOWN
+        wins = stats.portfolio_wins_by_config
+        wins[outcome.winner] = wins.get(outcome.winner, 0) + 1
+        if outcome.result is SatResult.SAT:
+            assert outcome.winner_blaster is not None
+            self.last_model = Model(outcome.winner_blaster)
+            self._memo[bare_goal] = Result.SAT
+            return Result.SAT
+        self._memo[bare_goal] = Result.UNSAT
+        return Result.UNSAT
 
     def _try_fast_paths(
         self, goal: Term, need_model: bool, started: float
@@ -825,14 +896,17 @@ class SolverSession:
         )
         stats.per_query_conflicts.append(conflicts_delta)
         stats.time_seconds += time.perf_counter() - started
-        # The deciding run leaned on clauses learned by earlier checks, so
-        # this cost can undershoot what a fresh solver would need; results
-        # stay sound and budget-monotone (see cache.py for the policy).
-        cost = conflicts_delta + 1
+        # Session results feed the per-solver memo (this solver re-serves
+        # them under the same budget) but never the shared QueryCache: the
+        # deciding run leaned on clauses learned by earlier checks, so its
+        # conflict count can undershoot what a fresh solver would need, and
+        # a cache entry carrying that optimistic cost would let a cached
+        # run decide under a small budget where an uncached run returns
+        # UNKNOWN — breaking cached-vs-uncached outcome identity (see the
+        # budget-monotonicity policy in cache.py).
         if outcome is SatResult.SAT:
             solver.last_model = Model(blaster)
             solver._memo[combined] = Result.SAT
-            solver._share(combined, Result.SAT, cost)
             return Result.SAT
         if outcome is SatResult.UNSAT:
             core_lits = set(sat_solver.core or ())
@@ -842,7 +916,21 @@ class SolverSession:
                 if self._assume_lits.get(term) in core_lits
             ]
             solver._memo[combined] = Result.UNSAT
-            solver._share(combined, Result.UNSAT, cost)
             return Result.UNSAT
+        # UNKNOWN under the scoped solver.  With a portfolio configured,
+        # escalate to a fresh race before giving up: sessions keep their
+        # single scoped solver — only fresh and escalated queries are
+        # portfolio-backed — so the escalation runs on fresh members and
+        # can only refine the UNKNOWN, never flip a decided verdict.
+        if solver.portfolio > 1:
+            return solver._portfolio_decide(
+                combined,
+                t.and_(
+                    combined,
+                    _ackermann_lemmas(combined),
+                    _comparison_lemmas(combined),
+                ),
+                time.perf_counter(),
+            )
         stats.unknowns += 1
         return Result.UNKNOWN

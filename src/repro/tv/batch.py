@@ -113,6 +113,19 @@ class BatchResult:
                 f" evicted={stats.clauses_evicted}"
                 f" probe_failed_literals={stats.probe_failed_literals}"
             )
+        if stats.portfolio_queries:
+            wins = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(
+                    stats.portfolio_wins_by_config.items()
+                )
+            )
+            lines.append(
+                f"portfolio: queries={stats.portfolio_queries}"
+                f" wins=[{wins}]"
+                f" vars_eliminated={stats.vars_eliminated}"
+                f" clauses_blocked={stats.clauses_blocked}"
+            )
         if self.deduped_functions:
             lines.append(
                 f"dedup: {self.dedup_classes} classes,"

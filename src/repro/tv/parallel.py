@@ -44,6 +44,7 @@ from repro.keq.report import FAILURE_CLASS_CRASH, FAILURE_CLASS_TIMEOUT
 from repro.llvm import ir
 from repro.tv.batch import BatchResult, run_batch
 from repro.tv.driver import Category, TvOptions, TvOutcome, validate_function
+from repro.util import available_cpus
 
 logger = logging.getLogger(__name__)
 
@@ -217,7 +218,7 @@ def run_batch_parallel(
     """
     names = function_names if function_names is not None else list(module.functions)
     overrides = overrides or {}
-    cores = os.cpu_count() or 1
+    cores = available_cpus()
     if jobs is None:
         jobs = cores
     elif validate is None and jobs > cores:

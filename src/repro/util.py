@@ -1,0 +1,20 @@
+"""Small shared runtime utilities."""
+
+from __future__ import annotations
+
+import os
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine's cores even when a container
+    cpuset or CPU affinity mask restricts the process to fewer; sizing
+    worker pools from it oversubscribes the hosts we are actually allowed
+    to run on.  ``os.sched_getaffinity(0)`` reflects the real mask; fall
+    back to ``os.cpu_count()`` on platforms without it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)

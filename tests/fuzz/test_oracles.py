@@ -206,3 +206,71 @@ class TestUnknownIsNoVerdict:
         formula = t.eq(t.mul(x, x), t.zext(y, 8))
         if brute_force_eligible(formula):
             assert check_brute_force(formula) is None
+
+
+class TestPortfolioVsSingleOracle:
+    def test_clean_formulas_pass(self):
+        from repro.fuzz.oracles import check_portfolio_vs_single
+
+        x = t.bv_var("x", 8)
+        for formula in [
+            t.ult(x, t.bv_const(3, 8)),
+            t.eq(t.mul(x, x), t.bv_const(49, 8)),
+            t.and_(
+                t.ult(x, t.bv_const(4, 8)), t.ult(t.bv_const(9, 8), x)
+            ),
+        ]:
+            assert check_portfolio_vs_single(formula) is None
+
+    def test_non_boolean_terms_skipped(self):
+        from repro.fuzz.oracles import check_portfolio_vs_single
+
+        assert check_portfolio_vs_single(t.bv_var("x", 8)) is None
+
+    def test_lying_portfolio_is_detected(self, monkeypatch):
+        from repro.fuzz.oracles import check_portfolio_vs_single
+        from repro.smt.solver import Solver
+
+        class LyingPortfolioSolver(Solver):
+            def check_sat(self, formula, need_model=False):
+                outcome = super().check_sat(formula, need_model=need_model)
+                if self.portfolio > 1 and outcome is Result.SAT:
+                    return Result.UNSAT
+                if self.portfolio > 1 and outcome is Result.UNSAT:
+                    return Result.SAT
+                return outcome
+
+        monkeypatch.setattr(oracles, "Solver", LyingPortfolioSolver)
+        x = t.bv_var("x", 8)
+        violation = check_portfolio_vs_single(t.ult(x, t.bv_const(3, 8)))
+        assert violation is not None
+        assert violation.oracle == "portfolio-vs-single"
+
+    def test_corrupt_portfolio_model_is_detected(self, monkeypatch):
+        from repro.fuzz.oracles import check_portfolio_vs_single
+        from repro.smt.solver import Solver
+
+        class Zeroed:
+            """A model claiming every variable is zero/False."""
+
+            def eval_bv(self, term):
+                return 0
+
+            def eval_bool(self, term):
+                return False
+
+        class CorruptModelSolver(Solver):
+            def check_sat(self, formula, need_model=False):
+                outcome = super().check_sat(formula, need_model=need_model)
+                if self.portfolio > 1 and outcome is Result.SAT:
+                    self.last_model = Zeroed()
+                return outcome
+
+        monkeypatch.setattr(oracles, "Solver", CorruptModelSolver)
+        x = t.bv_var("x", 8)
+        # Satisfiable only by nonzero x: the zeroed model must fail replay.
+        violation = check_portfolio_vs_single(
+            t.eq(x, t.bv_const(7, 8))
+        )
+        assert violation is not None
+        assert violation.oracle == "portfolio-vs-single"

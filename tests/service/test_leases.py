@@ -102,3 +102,63 @@ class TestRelease:
         t.grant("fn_b", "w1", attempt=1, now=0.0)
         t.grant("fn_a", "w1", attempt=1, now=0.0)
         assert [l.unit for l in t.outstanding()] == ["fn_b", "fn_a"]
+
+
+class TestDeterministicReturnOrder:
+    """expire() and release_worker() return lease_id order — the same
+    order outstanding() reports — so the coordinator's re-queue and
+    journal line order never depend on dict insertion history."""
+
+    def _permuted_tables(self):
+        """Same leases, granted in different orders (different insertion
+        histories), all expiring together."""
+        units = ["fn_c", "fn_a", "fn_b", "fn_d"]
+        tables = []
+        for rotation in range(len(units)):
+            t = table(duration=5.0)
+            order = units[rotation:] + units[:rotation]
+            for unit in order:
+                t.grant(unit, "w1", attempt=1, now=0.0)
+            tables.append(t)
+        return tables
+
+    def test_expire_order_invariant_under_grant_permutation(self):
+        orders = []
+        for t in self._permuted_tables():
+            expected = [lease.lease_id for lease in t.outstanding()]
+            dead = t.expire(now=100.0)
+            assert [lease.lease_id for lease in dead] == expected
+            orders.append([lease.lease_id for lease in dead])
+        # Every permutation re-queues in grant (lease_id) order.
+        assert all(order == sorted(order) for order in orders)
+
+    def test_release_worker_order_matches_outstanding(self):
+        t = table(duration=5.0)
+        # Interleave two workers so w1's leases are non-contiguous in
+        # insertion order.
+        t.grant("fn_x", "w1", attempt=1, now=0.0)
+        t.grant("fn_y", "w2", attempt=1, now=0.0)
+        t.grant("fn_z", "w1", attempt=1, now=0.0)
+        t.grant("fn_w", "w2", attempt=1, now=0.0)
+        t.grant("fn_v", "w1", attempt=1, now=0.0)
+        expected = [
+            lease.lease_id
+            for lease in t.outstanding()
+            if lease.worker_id == "w1"
+        ]
+        released = t.release_worker("w1")
+        assert [lease.lease_id for lease in released] == expected
+        assert [lease.lease_id for lease in released] == sorted(
+            lease.lease_id for lease in released
+        )
+
+    def test_release_then_regrant_keeps_order_deterministic(self):
+        t = table(duration=5.0)
+        first = t.grant("fn_a", "w1", attempt=1, now=0.0)
+        t.grant("fn_b", "w1", attempt=1, now=0.0)
+        # Release and regrant fn_a: its new lease_id sorts *after* fn_b's,
+        # so dict insertion order (fn_a first again) would be wrong.
+        t.release(first.lease_id)
+        t.grant("fn_a", "w1", attempt=2, now=0.0)
+        dead = t.expire(now=100.0)
+        assert [lease.unit for lease in dead] == ["fn_b", "fn_a"]

@@ -170,3 +170,49 @@ class TestMessageChannel:
         assert mismatches == []
         channel.close()
         b.close()
+
+
+class TestRecvTimeout:
+    """A silent peer (no bytes, no FIN) must not block a request forever."""
+
+    def test_silent_peer_raises_protocol_timeout(self):
+        from repro.service.protocol import ProtocolTimeout
+
+        a, b = pair()
+        a.settimeout(0.1)
+        channel = MessageChannel(a)
+        with pytest.raises(ProtocolTimeout):
+            channel.request({"type": "ping"})
+        # The channel closed itself: a half-read frame may be in flight,
+        # so the socket cannot be reused without desyncing the framing.
+        assert a.fileno() == -1
+        b.close()
+
+    def test_protocol_timeout_is_a_protocol_error(self):
+        from repro.service.protocol import ProtocolTimeout
+
+        assert issubclass(ProtocolTimeout, ProtocolError)
+
+    def test_connect_applies_recv_timeout(self):
+        from repro.service.protocol import connect
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        host, port = server.getsockname()
+        channel = connect(f"{host}:{port}", retries=1, recv_timeout=0.25)
+        assert channel.sock.gettimeout() == 0.25
+        channel.close()
+        server.close()
+
+    def test_connect_default_blocks_forever(self):
+        from repro.service.protocol import connect
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        host, port = server.getsockname()
+        channel = connect(f"{host}:{port}", retries=1)
+        assert channel.sock.gettimeout() is None
+        channel.close()
+        server.close()

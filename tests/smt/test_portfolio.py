@@ -1,0 +1,225 @@
+"""Portfolio racing: verdict identity, UNKNOWN-iff-all-exhausted, wins."""
+
+import pytest
+
+from repro.smt import terms as t
+from repro.smt.portfolio import (
+    BASELINE,
+    DIVERSE_MEMBERS,
+    MAX_WIDTH,
+    PortfolioMember,
+    default_width,
+    portfolio_members,
+    run_portfolio,
+)
+from repro.smt.sat import SatResult, SolverConfig
+from repro.smt.solver import Result, Solver
+
+
+def const(value, width=8):
+    return t.bv_const(value & ((1 << width) - 1), width)
+
+
+def bv(name, width=8):
+    return t.bv_var(name, width)
+
+
+def _shiftadd(x, c, width):
+    acc = t.bv_const(0, width)
+    bit = 0
+    while c:
+        if c & 1:
+            acc = t.add(acc, t.shl(x, t.bv_const(bit, width)))
+        c >>= 1
+        bit += 1
+    return acc
+
+
+def _miter(width, c, name="x"):
+    """``x*C != shiftadd(x, C)``: UNSAT, needs real multiplier search."""
+    x = t.bv_var(name, width)
+    return t.ne(t.mul(x, t.bv_const(c, width)), _shiftadd(x, c, width))
+
+
+class TestMemberTable:
+    def test_member_zero_is_exact_baseline(self):
+        members = portfolio_members(MAX_WIDTH)
+        assert members[0] is BASELINE
+        assert members[0].sat == SolverConfig()
+        assert not members[0].reversed_form
+        assert not members[0].preprocess
+
+    def test_width_clamps_to_available_diversity(self):
+        assert len(portfolio_members(1)) == 1
+        assert len(portfolio_members(MAX_WIDTH)) == MAX_WIDTH
+        assert len(portfolio_members(MAX_WIDTH + 50)) == MAX_WIDTH
+        assert len(portfolio_members(0)) == 1
+        assert len(portfolio_members(-3)) == 1
+
+    def test_member_names_unique(self):
+        names = [BASELINE.name] + [m.name for m in DIVERSE_MEMBERS]
+        assert len(names) == len(set(names))
+
+    def test_reversed_form_member_keeps_default_config(self):
+        """Form diversity must not be washed out by a seed nudge: the
+        reversed-form member is the baseline configuration on the
+        reversed conjunction (a seeded variant explores the same
+        landscape as seeded members and loses the easy-tail win)."""
+        by_name = {m.name: m for m in DIVERSE_MEMBERS}
+        assert by_name["reversed-form"].sat == SolverConfig()
+
+    def test_default_width_clamped(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.smt.portfolio.available_cpus", lambda: 256
+        )
+        assert default_width() == MAX_WIDTH
+        monkeypatch.setattr("repro.smt.portfolio.available_cpus", lambda: 1)
+        assert default_width() == 2
+
+
+class TestRaceVerdicts:
+    def test_sat_verdict_with_verified_model(self):
+        x, y = bv("x"), bv("y")
+        goal = t.and_(t.eq(t.mul(x, y), const(56)), t.ult(x, y))
+        outcome = run_portfolio(goal, 10_000, width=4)
+        assert outcome.result is SatResult.SAT
+        assert outcome.winner is not None
+        assert outcome.winner_blaster is not None
+
+    def test_unsat_verdict(self):
+        outcome = run_portfolio(_miter(6, 0x2D), 10_000, width=4)
+        assert outcome.result is SatResult.UNSAT
+        assert outcome.winner is not None
+        assert outcome.winner_blaster is None
+
+    def test_matches_single_solver_on_decided(self):
+        x = bv("x")
+        cases = [
+            t.eq(t.mul(x, x), const(49)),
+            _miter(5, 0xB),
+            t.and_(t.ult(x, const(4)), t.ult(const(9), x)),
+        ]
+        for goal in cases:
+            single = Solver(conflict_budget=50_000).check_sat(goal)
+            raced = Solver(conflict_budget=50_000, portfolio=4).check_sat(
+                goal
+            )
+            assert raced is single
+
+    def test_unknown_only_when_every_member_exhausts(self):
+        # The width-10 multiplier-equivalence miter needs ~2000 conflicts
+        # under every configuration: a 2-conflict budget decides nothing.
+        goal = _miter(10, 0x15D)
+        outcome = run_portfolio(goal, 2, width=4)
+        assert outcome.result is SatResult.UNKNOWN
+        assert outcome.winner is None
+        assert len(outcome.exhausted) == 4
+        assert set(outcome.exhausted) == {
+            m.name for m in portfolio_members(4)
+        }
+
+    def test_reversed_form_wins_hard_head_conjunction(self):
+        """The signature portfolio win: the refutable conjunct is last in
+        encoding order, so the baseline grinds the hard head while the
+        reversed-form member refutes the tail in its first slice."""
+        query = t.and_(_miter(10, 0x15D, "x"), _miter(6, 0x2D, "z"))
+        solver = Solver(conflict_budget=100_000, portfolio=4)
+        assert solver.check_sat(query) is Result.UNSAT
+        assert solver.stats.portfolio_wins_by_config == {
+            "reversed-form": 1
+        }
+        # The race decided well before the single-solver conflict count.
+        assert solver.stats.conflicts < 2_000
+
+    def test_threads_mode_same_verdict(self):
+        x, y = bv("x"), bv("y")
+        cases = [
+            t.and_(t.eq(t.mul(x, y), const(56)), t.ult(x, y)),
+            _miter(5, 0xB),
+        ]
+        for goal in cases:
+            interleaved = run_portfolio(goal, 50_000, width=3)
+            threaded = run_portfolio(
+                goal, 50_000, width=3, mode="threads"
+            )
+            assert threaded.result is interleaved.result
+
+
+class TestSolverIntegration:
+    def test_portfolio_counters_populate(self):
+        solver = Solver(conflict_budget=50_000, portfolio=4)
+        assert solver.check_sat(_miter(5, 0xB)) is Result.UNSAT
+        stats = solver.stats
+        assert stats.portfolio_queries == 1
+        assert sum(stats.portfolio_wins_by_config.values()) == 1
+
+    def test_portfolio_zero_means_auto_width(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.smt.solver.default_width", lambda: 3
+        )
+        assert Solver(portfolio=0).portfolio == 3
+        assert Solver(portfolio=1).portfolio == 1
+        assert Solver(portfolio=-2).portfolio == 1
+
+    def test_portfolio_never_stores_to_shared_cache(self):
+        from repro.smt.cache import QueryCache
+
+        cache = QueryCache()
+        solver = Solver(conflict_budget=50_000, portfolio=4, cache=cache)
+        assert solver.check_sat(_miter(5, 0xB)) is Result.UNSAT
+        assert cache.stats.stores == 0
+
+    def test_session_escalates_unknown_to_portfolio(self):
+        x = bv("x", 10)
+        prefix = t.ult(x, t.bv_const(1000, 10))
+        # Starved scoped solver: the session check itself is UNKNOWN,
+        # then the escalation race (same budget, diverse members) runs.
+        delta = _miter(10, 0x15D)
+        solver = Solver(conflict_budget=2, portfolio=3)
+        with solver.session([prefix]) as session:
+            outcome = session.check(delta)
+        assert solver.stats.portfolio_queries == 1
+        assert outcome in (Result.UNKNOWN, Result.SAT, Result.UNSAT)
+
+    def test_sessions_keep_scoped_solver_when_decided(self):
+        x = bv("x")
+        solver = Solver(portfolio=4)
+        with solver.session([t.ult(x, const(10))]) as session:
+            assert session.check(t.ult(const(3), x)) is Result.SAT
+        assert solver.stats.portfolio_queries == 0
+
+
+class TestMemberSoundness:
+    """Every diversification axis alone agrees with the baseline."""
+
+    @pytest.mark.parametrize(
+        "member", DIVERSE_MEMBERS, ids=[m.name for m in DIVERSE_MEMBERS]
+    )
+    def test_member_agrees_with_baseline(self, member):
+        x, y = bv("x"), bv("y")
+        goals = [
+            t.eq(t.mul(x, y), const(56)),
+            _miter(5, 0xB),
+            t.and_(t.eq(t.mul(x, x), const(49)), t.ult(x, const(200))),
+            t.and_(t.ult(x, const(4)), t.ult(const(9), x)),
+        ]
+        from repro.smt.portfolio import _Runner
+
+        for goal in goals:
+            baseline = _Runner(BASELINE, goal).sat
+            expected = baseline.solve(conflict_budget=50_000)
+            runner = _Runner(member, goal)
+            got = runner.sat.solve(conflict_budget=50_000)
+            assert got is expected, (member.name, goal)
+
+
+class TestPortfolioMemberDataclass:
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BASELINE.name = "other"
+
+    def test_custom_member(self):
+        member = PortfolioMember(
+            "mine", SolverConfig(activity_seed=9), preprocess=True
+        )
+        assert member.preprocess_budget == 20_000

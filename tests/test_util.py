@@ -1,0 +1,41 @@
+"""repro.util.available_cpus: affinity-mask awareness with fallback."""
+
+import os
+
+from repro import util
+
+
+class TestAvailableCpus:
+    def test_uses_scheduler_affinity_mask(self, monkeypatch):
+        """A container cpuset restricting the process to 2 of 64 cores
+        must size pools at 2, not 64."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {3, 17}, raising=False
+        )
+        assert util.available_cpus() == 2
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert util.available_cpus() == 6
+
+    def test_falls_back_when_affinity_raises(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity support")
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert util.available_cpus() == 3
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: set(), raising=False
+        )
+        assert util.available_cpus() == 1
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert util.available_cpus() == 1
+
+    def test_real_call_is_positive(self):
+        assert util.available_cpus() >= 1

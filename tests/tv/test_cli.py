@@ -134,3 +134,49 @@ class TestCampaign:
     def test_campaign_resume_without_manifest_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["campaign", "resume", str(tmp_path / "nope")])
+
+
+class TestPortfolioFlag:
+    def test_single_accepts_portfolio(self, simple_file, capsys):
+        assert main(["single", simple_file, "--portfolio", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "validated" in out
+
+    def test_campaign_run_accepts_portfolio(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign", "run", "--scale", "6", "--seed", "11",
+                    "--portfolio", "2",
+                ]
+            )
+            == 0
+        )
+        assert "Succeeded" in capsys.readouterr().out
+
+    def test_worker_recv_flags_parse(self):
+        # Parse-only: the worker would dial out, so just build the parser
+        # path far enough to see the attributes land.
+        import argparse
+
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "service", "worker", "--connect", "127.0.0.1:1",
+                "--recv-timeout", "2.5", "--recv-retries", "5",
+            ]
+        )
+        assert args.recv_timeout == 2.5
+        assert args.recv_retries == 5
+
+    def test_service_coordinate_accepts_portfolio(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "service", "coordinate", "--dir", "camp", "--scale", "6",
+                "--portfolio", "4",
+            ]
+        )
+        assert args.portfolio == 4

@@ -94,7 +94,7 @@ class TestJobsClamp:
             calls["sequential"] = True
             return real_run_batch(*args, **kwargs)
 
-        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 1)
         monkeypatch.setattr(parallel_module, "run_batch", spy_run_batch)
         with caplog.at_level(logging.INFO, logger="repro.tv.parallel"):
             result = run_batch_parallel(module, base, jobs=4)
@@ -111,7 +111,7 @@ class TestJobsClamp:
         box that cannot run workers concurrently."""
         import repro.tv.parallel as parallel_module
 
-        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 1)
         corpus = gcc_like_corpus(scale=6, seed=5)
         module = corpus.build_module()
         base = TvOptions()
@@ -130,7 +130,7 @@ class TestJobsClamp:
         be rerouted to the sequential runner by the clamp."""
         import repro.tv.parallel as parallel_module
 
-        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 1)
 
         def fail_run_batch(*args, **kwargs):
             raise AssertionError("sequential fallback must not trigger")
@@ -309,4 +309,36 @@ class TestParallelCorpusAndCache:
         assert warm.solver_stats.cache_hits > 0
         assert (
             warm.solver_stats.cache_hits >= cold.solver_stats.cache_hits
+        )
+
+
+class TestAffinityAwareSizing:
+    """Pools are sized by the scheduler affinity mask, not the machine's
+    core count: ``os.cpu_count() or 1`` over-reports under container
+    cpusets (the old bug), so the clamp goes through
+    repro.util.available_cpus."""
+
+    def test_clamp_respects_affinity_mask_not_cpu_count(
+        self, monkeypatch, caplog
+    ):
+        import logging
+
+        import repro.tv.parallel as parallel_module
+        import repro.util as util_module
+
+        # A 64-core machine whose cpuset grants this process one core.
+        monkeypatch.setattr(util_module.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            util_module.os,
+            "sched_getaffinity",
+            lambda pid: {0},
+            raising=False,
+        )
+        corpus = gcc_like_corpus(scale=4, seed=5)
+        module = corpus.build_module()
+        with caplog.at_level(logging.INFO, logger="repro.tv.parallel"):
+            run_batch_parallel(module, TvOptions(), jobs=4)
+        assert any(
+            "clamping jobs=4 to cpu_count=1" in r.getMessage()
+            for r in caplog.records
         )
