@@ -247,7 +247,10 @@ class CampaignStatus:
                 for name, count in sorted(counters["wins"].items())
             )
             lines.append(
-                f"portfolio: queries={counters['queries']}"
+                f"portfolio: mode={counters['mode'] or 'interleave'}"
+                f" queries={counters['queries']}"
+                f" probe_decided={counters['probe_decided']}"
+                f" escalations={counters['escalations']}"
                 f" wins=[{wins}]"
                 f" vars_eliminated={counters['vars_eliminated']}"
                 f" clauses_blocked={counters['clauses_blocked']}"
@@ -311,7 +314,10 @@ def portfolio_counters(stats) -> dict | None:
     if not stats or not stats.portfolio_queries:
         return None
     return {
+        "mode": stats.portfolio_mode,
         "queries": stats.portfolio_queries,
+        "probe_decided": stats.portfolio_probe_decided,
+        "escalations": stats.portfolio_escalations,
         "wins": dict(sorted(stats.portfolio_wins_by_config.items())),
         "vars_eliminated": stats.vars_eliminated,
         "clauses_blocked": stats.clauses_blocked,

@@ -54,10 +54,11 @@ from repro.campaign.merge import (
 )
 from repro.campaign.shard import ShardItem, plan_shards
 from repro.keq.report import FAILURE_CLASS_TIMEOUT
+from repro.smt import DEFAULT_PROBE_CONFLICTS
 from repro.tv.batch import corpus_overrides
 from repro.tv.dedup import plan_dedup
 from repro.tv.driver import Category, TvOptions, TvOutcome
-from repro.tv.parallel import Worker, hard_budget
+from repro.tv.parallel import Worker, hard_budget, racer_slots
 from repro.util import available_cpus
 from repro.workloads import EXTERNAL_CALLEES, gcc_like_corpus
 
@@ -111,6 +112,13 @@ class CampaignConfig:
     #: N > 1 races that many diverse configurations per fresh/escalated
     #: query, 0 = auto (one member per available CPU).
     portfolio: int = 1
+    #: portfolio execution mode: "interleave", "threads", or "processes"
+    #: (racer subprocesses on real CPUs; pool slots shared with ``jobs``).
+    portfolio_mode: str = "interleave"
+    #: triage probe conflicts — the baseline member alone gets this many
+    #: conflicts per portfolio query before the full race runs (0 =
+    #: always race).
+    portfolio_probe: int = DEFAULT_PROBE_CONFLICTS
 
 
 def _base_options(
@@ -118,6 +126,8 @@ def _base_options(
     incremental: bool = True,
     session_scope: str = "function",
     portfolio: int = 1,
+    portfolio_mode: str = "interleave",
+    portfolio_probe: int = DEFAULT_PROBE_CONFLICTS,
 ) -> TvOptions:
     if wall_budget is None:
         options = TvOptions()
@@ -126,6 +136,8 @@ def _base_options(
     options.keq.incremental_solving = incremental
     options.keq.session_scope = session_scope
     options.keq.portfolio = portfolio
+    options.keq.portfolio_mode = portfolio_mode
+    options.keq.portfolio_probe = portfolio_probe
     return options
 
 
@@ -211,6 +223,8 @@ def prepare_campaign(
         config.incremental,
         config.session_scope,
         config.portfolio,
+        config.portfolio_mode,
+        config.portfolio_probe,
     )
     overrides = corpus_overrides(corpus, base)
     names = list(module.functions)
@@ -255,6 +269,8 @@ def prepare_campaign(
         "incremental": config.incremental,
         "session_scope": config.session_scope,
         "portfolio": config.portfolio,
+        "portfolio_mode": config.portfolio_mode,
+        "portfolio_probe": config.portfolio_probe,
         "functions": names,
         "run_names": run_names,
         "replay": replay,
@@ -317,6 +333,8 @@ def prepare_resume(
         manifest.get("incremental", True),
         manifest.get("session_scope", "function"),
         manifest.get("portfolio", 1),
+        manifest.get("portfolio_mode", "interleave"),
+        manifest.get("portfolio_probe", DEFAULT_PROBE_CONFLICTS),
     )
     overrides = corpus_overrides(corpus, base)
     state = load_state(directory)
@@ -494,6 +512,7 @@ def _drive(
         pool_size = cores
     pool_size = max(1, min(pool_size, len(jobs)))
     ctx = mp.get_context("spawn")
+    pool_slots = racer_slots(base, overrides, pool_size, cores)
 
     #: per-shard queues, drained round-robin so every shard progresses.
     shard_ids = sorted({job.shard for job in jobs})
@@ -506,7 +525,15 @@ def _drive(
     rotation = 0
 
     def spawn() -> Worker:
-        return Worker(ctx, module_text, base, overrides, cache_dir, validate)
+        return Worker(
+            ctx,
+            module_text,
+            base,
+            overrides,
+            cache_dir,
+            validate,
+            pool_slots=pool_slots,
+        )
 
     def next_ready(now: float) -> Job | None:
         nonlocal rotation

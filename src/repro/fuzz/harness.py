@@ -27,6 +27,7 @@ from repro.fuzz.oracles import (
     check_model_soundness,
     check_portfolio_vs_single,
     check_simplify_eval,
+    check_triage_vs_always,
 )
 from repro.fuzz.shrink import shrink
 from repro.smt import terms as t
@@ -194,11 +195,19 @@ def run_fuzz(
             )
 
         # 7. portfolio race vs single solver on the iteration's formula.
-        #    Every other iteration (alternating with oracle 6) — the race
-        #    solves the formula up to PORTFOLIO_WIDTH + 1 times.
-        if iteration % 2 == 1:
+        #    Every fourth iteration (sharing the odd slots with oracle 9,
+        #    both off oracle 6's even cadence) — the race solves the
+        #    formula up to PORTFOLIO_WIDTH + 1 times.
+        if iteration % 4 == 1:
             ran("portfolio-vs-single")
             record(check_portfolio_vs_single(formula), iteration)
+
+        # 9. triaged race vs always-race on the iteration's formula:
+        #    probing the baseline first must be verdict-invisible, down
+        #    to the exhausted set on UNKNOWN.
+        if iteration % 4 == 3:
+            ran("triage-vs-always-portfolio")
+            record(check_triage_vs_always(formula), iteration)
 
         # 8. cache outcome-identity over the recent query batch.
         pending_cache_batch.append(formula)

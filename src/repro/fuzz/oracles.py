@@ -25,7 +25,10 @@ on mutated witnesses.  The layers cross-checked:
   order — against fresh solving on the plain conjunctions;
 - portfolio races (:mod:`repro.smt.portfolio`) against single-solver
   runs — decided verdicts must agree, portfolio models must replay, and
-  a portfolio UNKNOWN requires every member exhausted.
+  a portfolio UNKNOWN requires every member exhausted;
+- triaged portfolio races (probe-the-baseline-first) against always-race
+  portfolios — exact verdict identity, including UNKNOWN and the
+  per-member exhausted set.
 
 Oracles never raise on stack bugs — they return violations — but they are
 allowed to raise on harness bugs (e.g. mis-sorted generated terms), which
@@ -599,4 +602,68 @@ def check_portfolio_vs_single(formula: Term) -> Violation | None:
         detail=detail,
         witnesses=(formula,),
         predicate=lambda ws: _portfolio_disagreement(ws[0]) is not None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Oracle 9: triaged portfolio races agree with always-race portfolios
+# ---------------------------------------------------------------------------
+
+#: probe budget for the triage oracle.  Probe slices are ``INITIAL_SLICE``
+#: (256) conflicts minimum, so any value in [1, 256] means "exactly one
+#: baseline slice":
+#: easy formulas probe-decide, hard ones escalate — both paths exercised.
+TRIAGE_PROBE = 64
+
+
+def _triage_disagreement(formula: Term) -> str | None:
+    """Triaged vs always-race differential on one formula.
+
+    Adaptive triage (probe the baseline first, race only probe-exhausted
+    queries) must be *verdict-invisible*: in interleave mode the probe
+    runner is reused by the escalation race, so the baseline's slice
+    schedule, learned clauses, and budget accounting are identical to the
+    always-race run — the verdict must match exactly, **including**
+    UNKNOWN and the per-member exhausted set.  This is strictly stronger
+    than the portfolio-vs-single oracle's refinement check.
+    """
+    if formula.sort is not BOOL:
+        return None
+    goal = simplify(formula)
+    if goal.sort is not BOOL:
+        return None
+    always = run_portfolio(
+        goal, ORACLE_BUDGET, width=PORTFOLIO_WIDTH, probe=0
+    )
+    triaged = run_portfolio(
+        goal, ORACLE_BUDGET, width=PORTFOLIO_WIDTH, probe=TRIAGE_PROBE
+    )
+    if triaged.result is not always.result:
+        return (
+            f"always-race {always.result.value},"
+            f" triaged (probe={TRIAGE_PROBE}) {triaged.result.value}"
+        )
+    if triaged.result is SatResult.UNKNOWN and set(
+        triaged.exhausted
+    ) != set(always.exhausted):
+        return (
+            f"UNKNOWN verdicts agree but exhausted sets differ:"
+            f" always {sorted(always.exhausted)},"
+            f" triaged {sorted(triaged.exhausted)}"
+        )
+    if triaged.probe_decided and triaged.escalated:
+        return "result flagged both probe_decided and escalated"
+    return None
+
+
+def check_triage_vs_always(formula: Term) -> Violation | None:
+    """Adaptive hard-query triage must never change a race's verdict."""
+    detail = _triage_disagreement(formula)
+    if detail is None:
+        return None
+    return Violation(
+        oracle="triage-vs-always-portfolio",
+        detail=detail,
+        witnesses=(formula,),
+        predicate=lambda ws: _triage_disagreement(ws[0]) is not None,
     )

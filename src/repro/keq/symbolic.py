@@ -45,7 +45,13 @@ from repro.semantics.state import (
     Value,
     value_term,
 )
-from repro.smt import Result, SessionCore, Solver, canonical_assumption_order
+from repro.smt import (
+    DEFAULT_PROBE_CONFLICTS,
+    Result,
+    SessionCore,
+    Solver,
+    canonical_assumption_order,
+)
 from repro.smt import terms as t
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term
@@ -76,6 +82,14 @@ class KeqOptions:
     #: session-escalated queries (first definitive answer wins), 0 = auto
     #: (one member per available CPU).  See :mod:`repro.smt.portfolio`.
     portfolio: int = 1
+    #: portfolio execution mode: ``"interleave"`` (deterministic, one
+    #: core), ``"threads"``, or ``"processes"`` (real CPUs via a
+    #: persistent racer pool).  Ignored when ``portfolio == 1``.
+    portfolio_mode: str = "interleave"
+    #: triage probe conflicts: the baseline member alone gets this many
+    #: conflicts per portfolio query before it escalates to the full
+    #: race (0 = always race).
+    portfolio_probe: int = DEFAULT_PROBE_CONFLICTS
     record_proof: bool = False  # build a machine-checkable witness
     #: wall-clock budget per function — the paper's actual mechanism (a
     #: 3-hour limit per verification run).  None disables it; the batch
@@ -115,6 +129,8 @@ class Keq:
         self.solver = solver or Solver(
             conflict_budget=self.options.solver_conflict_budget,
             portfolio=self.options.portfolio,
+            portfolio_mode=self.options.portfolio_mode,
+            portfolio_probe=self.options.portfolio_probe,
         )
         #: campaign-scoped solver state shared across functions (owned by
         #: the batch/service worker; only used when

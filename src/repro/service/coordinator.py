@@ -55,6 +55,7 @@ from repro.campaign.supervisor import (
     prepare_resume,
 )
 from repro.service.leases import LeaseTable
+from repro.smt import DEFAULT_PROBE_CONFLICTS
 from repro.service.protocol import (
     MessageChannel,
     ProtocolError,
@@ -275,6 +276,10 @@ class Coordinator:
             "incremental": manifest.get("incremental", True),
             "session_scope": manifest.get("session_scope", "function"),
             "portfolio": manifest.get("portfolio", 1),
+            "portfolio_mode": manifest.get("portfolio_mode", "interleave"),
+            "portfolio_probe": manifest.get(
+                "portfolio_probe", DEFAULT_PROBE_CONFLICTS
+            ),
             "imprecise": self._imprecise,
             "cache_dir": manifest["cache_dir"],
             "validate": manifest.get("validate"),

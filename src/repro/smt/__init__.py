@@ -31,6 +31,8 @@ from repro.smt.terms import (
 from repro.smt import terms as t
 from repro.smt.simplify import simplify, substitute
 from repro.smt.portfolio import (
+    DEFAULT_PROBE_CONFLICTS,
+    MODES as PORTFOLIO_MODES,
     PortfolioMember,
     PortfolioResult,
     portfolio_members,
@@ -47,6 +49,8 @@ from repro.smt.cache import CacheStats, QueryCache
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_PROBE_CONFLICTS",
+    "PORTFOLIO_MODES",
     "PortfolioMember",
     "PortfolioResult",
     "QueryCache",

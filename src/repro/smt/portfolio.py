@@ -32,11 +32,25 @@ Execution modes:
   (soundness), but the *winner attribution* and conflict totals are
   scheduling-dependent, so this mode is reserved for interactive use;
   win counters only ever surface on timing-filtered report lines.
+- ``"processes"``: members race as subprocesses of a persistent
+  :class:`repro.smt.procpool.PortfolioPool`, one racer per CPU, with
+  first-answer-wins cancellation over pipes.  The Python GIL never
+  serializes the search, so this is the mode where a width-N portfolio
+  actually uses N cores.  Verdicts keep the same contract (a SAT model is
+  shipped back over the pipe and replayed in the parent before it is
+  trusted); winner attribution and conflict totals are racing-dependent,
+  exactly like ``"threads"``.
 
 The per-member budget equals the caller's full conflict budget, so "every
 member exhausted" is never cheaper than the single-solver UNKNOWN it
 replaces; slicing just lets a lucky configuration decide long before the
 unlucky ones finish burning theirs.
+
+The solver façade pairs any of these modes with *adaptive triage*
+(:data:`DEFAULT_PROBE_CONFLICTS`): the baseline member alone probes every
+query under a small conflict budget, and only probe-exhausted queries
+escalate to a race.  The probe budget is a constant — a pure function of
+the query — so triage preserves the byte-identical report discipline.
 """
 
 from __future__ import annotations
@@ -51,10 +65,31 @@ from repro.smt.sat import SatResult, SatSolver, SolverConfig
 from repro.smt.terms import Term
 from repro.util import available_cpus
 
-#: conflicts granted to a member in its first slice; doubles every round
+#: conflicts granted to a member in its first slice; doubles every round.
+#: A slice is a cap, not a fixed spend — a member that decides sooner
+#: returns immediately.  Each new slice restarts the restart schedule
+#: from its base, which measurably helps heavy queries (fresh early
+#: restarts re-aim the search) at the price of mild re-descent churn on
+#: queries that just overflow a slice boundary.
 INITIAL_SLICE = 256
 #: slice doubling stops here (keeps ``give`` bounded for huge budgets)
 _MAX_SLICE_SHIFT = 16
+
+#: recognized execution modes for :func:`run_portfolio`
+MODES = ("interleave", "threads", "processes")
+
+#: default triage probe: conflicts the baseline member alone gets before a
+#: query is declared hard and escalated to the full race.  Most KEQ
+#: obligations decide in well under this (the keq-campaign median is tens
+#: of conflicts, the p99 well under a thousand), so easy queries cost
+#: exactly one baseline run while the genuinely hard tail — thousands of
+#: conflicts and UNKNOWN-prone — still reaches the portfolio.  Tuned on
+#: the solver-bound keq corpus: 512 let borderline queries (decided just
+#: past the probe) escalate and pay for diverse members' opening slices,
+#: costing the campaign its wall-time parity with ``--portfolio 1``.  A
+#: constant — never derived from wall clock or load — so campaign resume
+#: and byte-identity hold.
+DEFAULT_PROBE_CONFLICTS = 2048
 
 
 @dataclass(frozen=True)
@@ -125,8 +160,11 @@ class PortfolioResult:
 
     result: SatResult
     winner: str | None = None
-    #: blaster of the winning member (model reads) — SAT only
+    #: blaster of the winning member (model reads) — SAT in-process modes
     winner_blaster: BitBlaster | None = None
+    #: ``(env, selects)`` shipped back by a racer subprocess — SAT in
+    #: ``"processes"`` mode, already replay-verified by the parent
+    winner_model: "tuple[dict, dict] | None" = None
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
@@ -134,6 +172,61 @@ class PortfolioResult:
     clauses_blocked: int = 0
     #: members that ran out of budget (every member, on UNKNOWN)
     exhausted: tuple[str, ...] = ()
+    #: the baseline probe alone decided the query (no race was run)
+    probe_decided: bool = False
+    #: the probe exhausted its budget and the full race ran
+    escalated: bool = False
+
+
+def model_values(
+    goal: Term, blaster: BitBlaster
+) -> tuple[dict[str, int | bool], dict[tuple[str, int, int], int]]:
+    """Extract a member's SAT model as plain values.
+
+    Returns ``(env, selects)``: free-variable assignments plus values for
+    the uninterpreted ``select`` atoms, keyed by (array, evaluated offset,
+    width).  Both are picklable builtins, so a racer subprocess can ship
+    its model over a pipe without shipping :class:`Term` objects (terms
+    are per-process interned and must never cross a process boundary).
+    May raise :class:`EvalError` when an offset fails to evaluate — the
+    caller treats that as a failed model.
+    """
+    env: dict[str, int | bool] = {}
+    for var in t.free_vars(goal):
+        if var.sort is t.BOOL:
+            env[var.name] = blaster.model_bool(var)
+        else:
+            env[var.name] = blaster.model_bv(var)
+    select_values: dict[tuple[str, int, int], int] = {}
+    stack = [goal]
+    seen: set[Term] = set()
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node.op == "select":
+            offset = evaluate(node.args[0], env)  # offsets are select-free
+            key = (node.attr[0], offset, node.attr[1])
+            select_values.setdefault(key, blaster.model_bv(node))
+        stack.extend(node.args)
+    return env, select_values
+
+
+def replay_model(
+    goal: Term,
+    env: dict[str, int | bool],
+    selects: dict[tuple[str, int, int], int],
+) -> bool:
+    """True iff the extracted model actually satisfies ``goal``."""
+
+    def handler(array: str, offset: int, width: int) -> int:
+        return selects.get((array, offset, width), 0)
+
+    try:
+        return evaluate(goal, env, handler) is True
+    except EvalError:
+        return False
 
 
 def verify_model(goal: Term, blaster: BitBlaster) -> bool:
@@ -145,40 +238,24 @@ def verify_model(goal: Term, blaster: BitBlaster) -> bool:
     Select atoms are uninterpreted: their values are read back from the
     blaster keyed by the evaluated offset, mirroring the fuzz oracles.
     """
-    env: dict[str, int | bool] = {}
-    for var in t.free_vars(goal):
-        if var.sort is t.BOOL:
-            env[var.name] = blaster.model_bool(var)
-        else:
-            env[var.name] = blaster.model_bv(var)
-    select_values: dict[tuple[str, int, int], int] = {}
     try:
-        stack = [goal]
-        seen: set[Term] = set()
-        while stack:
-            node = stack.pop()
-            if node in seen:
-                continue
-            seen.add(node)
-            if node.op == "select":
-                offset = evaluate(node.args[0], env)  # offsets are select-free
-                key = (node.attr[0], offset, node.attr[1])
-                select_values.setdefault(key, blaster.model_bv(node))
-            stack.extend(node.args)
-
-        def handler(array: str, offset: int, width: int) -> int:
-            return select_values.get((array, offset, width), 0)
-
-        return evaluate(goal, env, handler) is True
+        env, selects = model_values(goal, blaster)
     except EvalError:
         return False
+    return replay_model(goal, env, selects)
 
 
 class _Runner:
     """One member's live solver state during a race."""
 
-    def __init__(self, member: PortfolioMember, goal: Term):
+    def __init__(
+        self,
+        member: PortfolioMember,
+        goal: Term,
+        max_slice_shift: int = _MAX_SLICE_SHIFT,
+    ):
         self.member = member
+        self.max_slice_shift = max_slice_shift
         self.sat = SatSolver(member.sat)
         self.blaster = BitBlaster(self.sat)
         encoded = goal
@@ -192,7 +269,7 @@ class _Runner:
         self.exhausted = False
 
     def slice_budget(self, conflict_budget: int | None) -> int | None:
-        give = INITIAL_SLICE << min(self.rounds, _MAX_SLICE_SHIFT)
+        give = INITIAL_SLICE << min(self.rounds, self.max_slice_shift)
         if conflict_budget is None:
             return give
         return min(give, conflict_budget - self.spent)
@@ -221,18 +298,71 @@ def run_portfolio(
     width: int,
     verify: bool = True,
     mode: str = "interleave",
+    probe: int = 0,
 ) -> PortfolioResult:
     """Race ``width`` diverse configurations on ``goal``.
 
     ``goal`` is the full bit-blasting goal (simplified formula plus theory
     lemmas) exactly as the single-solver path would assert it.  See the
     module docstring for the execution modes and the verdict contract.
+
+    ``probe > 0`` enables adaptive triage: the baseline member runs alone
+    under its normal slice schedule until it decides or has spent at
+    least ``probe`` conflicts.  A probe decision is returned directly
+    (``probe_decided``); a probe exhaustion escalates to the full race
+    (``escalated``), with the probe's solver state carried into the race
+    for the in-process modes so the baseline's search trajectory — and
+    hence the verdict, including UNKNOWN — is identical to an
+    always-race run.
     """
-    runners = [_Runner(member, goal) for member in portfolio_members(width)]
+    if mode not in MODES:
+        raise ValueError(
+            f"unknown portfolio mode {mode!r} (expected one of {MODES})"
+        )
+    if probe < 0:
+        raise ValueError(f"probe budget must be >= 0, got {probe}")
+    members = portfolio_members(width)
     check = verify_model if verify else None
+    probe_runner = None
+    if probe > 0 and len(members) > 1:
+        probe_runner = _Runner(BASELINE, goal)
+        while not probe_runner.exhausted and probe_runner.spent < probe:
+            outcome = probe_runner.run_slice(conflict_budget)
+            if _decisive(probe_runner, outcome, goal, check):
+                result = _finish([probe_runner], outcome, probe_runner)
+                result.probe_decided = True
+                return result
+    if mode == "processes":
+        from repro.smt.procpool import shared_pool
+
+        result = shared_pool().race(
+            goal, members, conflict_budget, verify=verify
+        )
+        if probe_runner is not None:
+            # The baseline restarts fresh inside its racer; the probe's
+            # spend is still real work and is accounted here.
+            stats = probe_runner.sat.stats
+            result.conflicts += stats.conflicts
+            result.decisions += stats.decisions
+            result.propagations += stats.propagations
+            result.escalated = True
+        return result
+    if probe_runner is not None:
+        # The probe proved the baseline cannot decide cheaply, so the
+        # fresh members' small opening slices run before the baseline's
+        # next (doubled) one.  The baseline reuses the probe's solver —
+        # learned clauses, slice schedule, and budget accounting carry
+        # over, so its trajectory matches an always-race run exactly.
+        runners = [_Runner(member, goal) for member in members[1:]]
+        runners.append(probe_runner)
+    else:
+        runners = [_Runner(member, goal) for member in members]
     if mode == "threads":
-        return _race_threads(runners, goal, conflict_budget, check)
-    return _race_interleaved(runners, goal, conflict_budget, check)
+        result = _race_threads(runners, goal, conflict_budget, check)
+    else:
+        result = _race_interleaved(runners, goal, conflict_budget, check)
+    result.escalated = probe_runner is not None
+    return result
 
 
 def _decisive(

@@ -1,0 +1,389 @@
+"""Process-parallel portfolio racing (``mode="processes"``).
+
+A persistent pool of *racer* subprocesses, one per CPU, that races
+portfolio members on real cores with first-answer-wins cancellation over
+pipes.  The design mirrors the batch driver's worker pool
+(:mod:`repro.tv.parallel`): spawn context, duplex pipes, and a hard
+kill-and-reap for anything that will not die politely.
+
+Spawn safety
+    :class:`repro.smt.terms.Term` objects are interned per process and
+    must never cross a pipe.  The goal travels as its canonical printing
+    (:func:`repro.smt.printer.canonical` / ``from_canonical`` round-trip
+    exactly) and a SAT model travels back as plain ``(env, selects)``
+    value dictionaries (:func:`repro.smt.portfolio.model_values`), which
+    the parent replays through the reference evaluator before trusting —
+    the same verdict contract as the in-process modes.
+
+Cancellation
+    Racers solve in bounded conflict slices (:data:`PROC_SLICE_SHIFT`
+    caps the doubling) and poll their pipe between slices.  When a racer
+    answers decisively, the parent broadcasts a cancel, waits a short
+    grace for the losers to acknowledge, and *kills and respawns* any
+    straggler — a race always ends with every slot idle and no stale
+    messages in flight.  Racers exit on pipe EOF, so even a SIGKILLed
+    parent leaves no orphans beyond the current slice.
+
+Sizing
+    Never more racers than CPUs: the pool clamps the race width to
+    :func:`repro.util.available_cpus` (with a warning) — racing eight
+    members on two cores is strictly worse than racing two.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import multiprocessing as mp
+import time
+from multiprocessing import connection as mp_connection
+
+from repro.util import available_cpus
+
+logger = logging.getLogger(__name__)
+
+#: slice-doubling cap for racers (max slice = 256 << 3 = 2048 conflicts):
+#: small enough that the between-slice cancellation poll lands within a
+#: fraction of a second on realistic conflict rates.
+PROC_SLICE_SHIFT = 3
+
+#: seconds a cancelled racer gets to acknowledge before kill-and-reap
+CANCEL_GRACE_SECONDS = 1.0
+
+#: dispatcher poll interval while waiting for racer messages (seconds)
+_POLL_SECONDS = 0.05
+
+
+def _allow_children() -> None:
+    """Permit spawning from a daemonic process (the tv worker case).
+
+    Batch workers are daemonic (so a dying dispatcher reaps them), and
+    multiprocessing refuses to start children from a daemonic process.
+    Racers are exactly the grandchildren we want, so clear the *child-side*
+    daemon flag; the parent's handle — and its terminate-at-exit handling
+    of the worker — is untouched.
+    """
+    current = mp.current_process()
+    config = getattr(current, "_config", None)
+    if config is not None and config.get("daemon"):
+        config["daemon"] = False
+
+
+def _racer_main(conn) -> None:
+    """Racer loop: decode a goal, solve in slices, poll for cancellation."""
+    from repro.smt.portfolio import _Runner, model_values
+    from repro.smt.printer import from_canonical
+    from repro.smt.sat import SatResult
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            return
+        if message[0] != "race":  # stale cancel from a finished race
+            continue
+        _, race_id, goal_text, member, conflict_budget = message
+        goal = from_canonical(goal_text)
+        runner = _Runner(member, goal, max_slice_shift=PROC_SLICE_SHIFT)
+        kind = "exhausted"
+        model = None
+        while not runner.exhausted:
+            if conn.poll():
+                try:
+                    note = conn.recv()
+                except (EOFError, OSError):
+                    return
+                if note[0] == "stop":
+                    return
+                if note[0] == "cancel" and note[1] == race_id:
+                    kind = "cancelled"
+                    break
+                continue
+            outcome = runner.run_slice(conflict_budget)
+            if outcome is SatResult.SAT:
+                try:
+                    env, selects = model_values(goal, runner.blaster)
+                except Exception:
+                    # An unreadable model is never definitive; the member
+                    # is spent (mirrors the in-process drop-on-bad-model).
+                    kind = "exhausted"
+                    break
+                kind = "sat"
+                model = (env, selects)
+                break
+            if outcome is SatResult.UNSAT:
+                kind = "unsat"
+                break
+        stats = runner.sat.stats
+        payload = {
+            "kind": kind,
+            "model": model,
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "vars_eliminated": stats.vars_eliminated,
+            "clauses_blocked": stats.clauses_blocked,
+        }
+        try:
+            conn.send(("done", race_id, payload))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _RacerSlot:
+    """One spawned racer process plus its duplex pipe."""
+
+    def __init__(self, ctx):
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        _allow_children()
+        self.process = ctx.Process(
+            target=_racer_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+
+    def kill(self) -> None:
+        try:
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            try:
+                self.process.close()
+            except ValueError:
+                pass
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.kill()
+
+
+class PortfolioPool:
+    """A persistent pool of racer subprocesses (see module docstring).
+
+    One pool serves every process-mode race issued by this process; racers
+    are spawned lazily on the first race and reused afterwards, so the
+    spawn-and-import cost is paid once per campaign, not once per query.
+    """
+
+    def __init__(
+        self,
+        slots: int | None = None,
+        cancel_grace: float = CANCEL_GRACE_SECONDS,
+    ):
+        self._ctx = mp.get_context("spawn")
+        self._max_slots = max(1, slots if slots else available_cpus())
+        self._cancel_grace = cancel_grace
+        self._slots: list[_RacerSlot] = []
+        self._race_counter = 0
+        self._warned_clamp = False
+        self.closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def pids(self) -> list[int]:
+        """Live racer process ids (hygiene tests scan these)."""
+        return [
+            slot.process.pid
+            for slot in self._slots
+            if slot.process.is_alive()
+        ]
+
+    def prestart(self, count: int) -> None:
+        """Spawn ``count`` racers up front (normally done lazily)."""
+        self._ensure_slots(min(count, self._max_slots))
+
+    def shutdown(self) -> None:
+        """Stop and reap every racer; the pool is unusable afterwards."""
+        for slot in self._slots:
+            slot.shutdown()
+        self._slots = []
+        self.closed = True
+
+    def _ensure_slots(self, count: int) -> None:
+        for index in range(len(self._slots)):
+            if not self._slots[index].process.is_alive():
+                self._slots[index].kill()
+                self._slots[index] = _RacerSlot(self._ctx)
+        while len(self._slots) < count:
+            self._slots.append(_RacerSlot(self._ctx))
+
+    def _respawn(self, slot: _RacerSlot) -> None:
+        slot.kill()
+        self._slots[self._slots.index(slot)] = _RacerSlot(self._ctx)
+
+    # -- racing ----------------------------------------------------------------
+
+    def race(self, goal, members, conflict_budget, verify: bool = True):
+        """Race ``members`` on ``goal``; same contract as ``run_portfolio``.
+
+        The width is clamped to the pool's slot count (never more racers
+        than CPUs); member 0 — the baseline — always keeps its seat.
+        """
+        from repro.smt.portfolio import PortfolioResult, replay_model
+        from repro.smt.printer import canonical
+        from repro.smt.sat import SatResult
+
+        if self.closed:
+            raise RuntimeError("PortfolioPool is shut down")
+        members = list(members)
+        if len(members) > self._max_slots:
+            if not self._warned_clamp:
+                logger.warning(
+                    "clamping portfolio width %d to %d racer slots "
+                    "(never more racer processes than CPUs)",
+                    len(members),
+                    self._max_slots,
+                )
+                self._warned_clamp = True
+            members = members[: self._max_slots]
+        self._ensure_slots(len(members))
+        self._race_counter += 1
+        race_id = self._race_counter
+        goal_text = canonical(goal)
+
+        pending: dict[_RacerSlot, object] = {}
+        for index, member in enumerate(members):
+            slot = self._slots[index]
+            message = ("race", race_id, goal_text, member, conflict_budget)
+            try:
+                slot.conn.send(message)
+            except (BrokenPipeError, OSError):
+                self._respawn(slot)
+                slot = self._slots[index]
+                slot.conn.send(message)
+            pending[slot] = member
+
+        result = PortfolioResult(result=SatResult.UNKNOWN)
+        exhausted: list[str] = []
+        winner_member = None
+        winner_outcome = None
+        winner_model = None
+        grace_deadline: float | None = None
+        try:
+            while pending:
+                now = time.perf_counter()
+                if grace_deadline is not None and now > grace_deadline:
+                    # Losers that ignored the cancel: kill-and-reap.
+                    for slot in list(pending):
+                        self._respawn(slot)
+                        del pending[slot]
+                    break
+                ready = mp_connection.wait(
+                    [slot.conn for slot in pending], timeout=_POLL_SECONDS
+                )
+                for conn in ready:
+                    slot = next(s for s in pending if s.conn is conn)
+                    member = pending[slot]
+                    try:
+                        message = slot.conn.recv()
+                    except (EOFError, OSError):
+                        # Racer died mid-race (crash, OOM-kill): the
+                        # member is conservatively treated as exhausted.
+                        logger.warning(
+                            "portfolio racer %s died mid-race; respawning",
+                            getattr(member, "name", "?"),
+                        )
+                        exhausted.append(member.name)
+                        self._respawn(slot)
+                        del pending[slot]
+                        continue
+                    if message[0] != "done" or message[1] != race_id:
+                        continue  # stale frame from an earlier race
+                    payload = message[2]
+                    del pending[slot]
+                    result.conflicts += payload["conflicts"]
+                    result.decisions += payload["decisions"]
+                    result.propagations += payload["propagations"]
+                    result.vars_eliminated += payload["vars_eliminated"]
+                    result.clauses_blocked += payload["clauses_blocked"]
+                    kind = payload["kind"]
+                    if winner_member is not None or kind == "cancelled":
+                        continue
+                    if kind == "exhausted":
+                        exhausted.append(member.name)
+                        continue
+                    if kind == "sat":
+                        env, selects = payload["model"]
+                        if verify and not replay_model(goal, env, selects):
+                            # A model that fails replay is never
+                            # definitive; drop the member, keep racing.
+                            exhausted.append(member.name)
+                            continue
+                        winner_member = member
+                        winner_outcome = SatResult.SAT
+                        winner_model = (env, selects)
+                    else:  # unsat — definitive by member soundness
+                        winner_member = member
+                        winner_outcome = SatResult.UNSAT
+                    for other in pending:
+                        try:
+                            other.conn.send(("cancel", race_id))
+                        except (BrokenPipeError, OSError):
+                            pass
+                    grace_deadline = (
+                        time.perf_counter() + self._cancel_grace
+                    )
+        except BaseException:
+            # Interrupted race (KeyboardInterrupt, SIGTERM handler): never
+            # leave a busy racer behind — kill and forget the slots.
+            for slot in list(pending):
+                slot.kill()
+                self._slots.remove(slot)
+            raise
+        if winner_member is not None:
+            result.result = winner_outcome
+            result.winner = winner_member.name
+            if winner_outcome is SatResult.SAT:
+                result.winner_model = winner_model
+            result.exhausted = tuple(exhausted)
+            return result
+        result.exhausted = tuple(exhausted)
+        return result
+
+
+#: the process-wide pool behind ``run_portfolio(..., mode="processes")``
+_SHARED: PortfolioPool | None = None
+
+#: slot override for the next shared pool (None = available_cpus())
+_SHARED_SLOTS: int | None = None
+
+
+def set_shared_slots(slots: int | None) -> None:
+    """Cap the shared pool's racer slots (None restores the CPU default).
+
+    Batch workers call this at startup so that ``jobs`` workers each
+    racing ``width`` members never oversubscribe the machine: every
+    worker gets ``cores // jobs`` racer slots.  Takes effect when the
+    shared pool is (re)built, so call it before the first race.
+    """
+    global _SHARED_SLOTS
+    _SHARED_SLOTS = max(1, slots) if slots else None
+
+
+def shared_pool() -> PortfolioPool:
+    """The lazily created process-wide pool (respawned after shutdown)."""
+    global _SHARED
+    if _SHARED is None or _SHARED.closed:
+        _SHARED = PortfolioPool(slots=_SHARED_SLOTS)
+        atexit.register(_SHARED.shutdown)
+    return _SHARED
+
+
+def shutdown_shared_pool() -> None:
+    """Idempotent shutdown of the shared pool (drivers call in finally)."""
+    global _SHARED
+    if _SHARED is not None:
+        _SHARED.shutdown()
+        _SHARED = None

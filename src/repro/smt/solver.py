@@ -25,7 +25,12 @@ if TYPE_CHECKING:  # cache.py imports Result from here; avoid the cycle.
 
 from repro.smt import terms as t
 from repro.smt.bitblast import BitBlaster
-from repro.smt.portfolio import default_width, run_portfolio
+from repro.smt.portfolio import (
+    DEFAULT_PROBE_CONFLICTS,
+    MODES as PORTFOLIO_MODES,
+    default_width,
+    run_portfolio,
+)
 from repro.smt.sat import SatResult, SatSolver
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term
@@ -90,6 +95,13 @@ class QueryStats:
     clauses_blocked: int = 0
     #: decided portfolio races per winning configuration name
     portfolio_wins_by_config: dict[str, int] = field(default_factory=dict)
+    #: portfolio queries decided by the baseline triage probe alone
+    portfolio_probe_decided: int = 0
+    #: portfolio queries whose probe exhausted and the full race ran
+    portfolio_escalations: int = 0
+    #: execution modes that fed these counters ("interleave", "threads",
+    #: "processes"; comma-joined union after merging)
+    portfolio_mode: str = ""
     per_query_conflicts: list[int] = field(default_factory=list)
 
     def merge(self, other: "QueryStats") -> None:
@@ -124,6 +136,12 @@ class QueryStats:
                 self.portfolio_wins_by_config.get(name, 0)
                 + other.portfolio_wins_by_config[name]
             )
+        self.portfolio_probe_decided += other.portfolio_probe_decided
+        self.portfolio_escalations += other.portfolio_escalations
+        modes = set(filter(None, self.portfolio_mode.split(","))) | set(
+            filter(None, other.portfolio_mode.split(","))
+        )
+        self.portfolio_mode = ",".join(sorted(modes))
         self.per_query_conflicts.extend(other.per_query_conflicts)
 
 
@@ -178,6 +196,38 @@ class TrivialModel(Model):
         from repro.smt.eval import evaluate
 
         return bool(evaluate(term, _ZERO_ENV, _zero_select))
+
+
+class ValuesModel(Model):
+    """A model carried as plain ``(env, selects)`` value dictionaries.
+
+    ``"processes"``-mode portfolio wins ship their model over a pipe as
+    builtins (terms are per-process interned and never cross a process
+    boundary), already replay-verified by the racing parent.  Terms are
+    read through concrete evaluation under those values; variables the
+    racer never saw default to 0, matching :class:`TrivialModel`.
+    """
+
+    def __init__(
+        self,
+        env: dict[str, "int | bool"],
+        selects: dict[tuple[str, int, int], int],
+    ):
+        self._env = _ZeroEnv(env)
+        self._selects = dict(selects)
+
+    def _select(self, array: str, offset: int, width: int) -> int:
+        return self._selects.get((array, offset, width), 0)
+
+    def eval_bv(self, term: Term) -> int:
+        from repro.smt.eval import evaluate
+
+        return int(evaluate(term, self._env, self._select))
+
+    def eval_bool(self, term: Term) -> bool:
+        from repro.smt.eval import evaluate
+
+        return bool(evaluate(term, self._env, self._select))
 
 
 def _fingerprint(*parts) -> int:
@@ -376,6 +426,8 @@ class Solver:
         conflict_budget: int | None = 200_000,
         cache: "QueryCache | None" = None,
         portfolio: int = 1,
+        portfolio_mode: str = "interleave",
+        portfolio_probe: int = DEFAULT_PROBE_CONFLICTS,
     ):
         self.conflict_budget = conflict_budget
         #: number of diverse solver configurations raced per fresh query
@@ -385,6 +437,22 @@ class Solver:
         if not portfolio or portfolio < 0:
             portfolio = default_width() if portfolio == 0 else 1
         self.portfolio = portfolio
+        if portfolio_mode not in PORTFOLIO_MODES:
+            raise ValueError(
+                f"unknown portfolio mode {portfolio_mode!r} "
+                f"(expected one of {PORTFOLIO_MODES})"
+            )
+        #: execution mode for portfolio races (see repro.smt.portfolio)
+        self.portfolio_mode = portfolio_mode
+        if portfolio_probe < 0:
+            raise ValueError(
+                f"portfolio probe budget must be >= 0, got {portfolio_probe}"
+            )
+        #: triage probe conflicts: the baseline member alone gets this many
+        #: conflicts before a query escalates to the full race (0 = always
+        #: race).  A constant per solver — never wall-clock derived — so
+        #: campaign resume and byte-identical reports are preserved.
+        self.portfolio_probe = portfolio_probe
         self.stats = QueryStats()
         self.last_model: Model | None = None
         #: simplified goal -> Result.  KEQ re-issues many identical queries
@@ -467,7 +535,16 @@ class Solver:
         stats = self.stats
         stats.sat_calls += 1
         stats.portfolio_queries += 1
-        outcome = run_portfolio(full_goal, self.conflict_budget, self.portfolio)
+        modes = set(filter(None, stats.portfolio_mode.split(",")))
+        modes.add(self.portfolio_mode)
+        stats.portfolio_mode = ",".join(sorted(modes))
+        outcome = run_portfolio(
+            full_goal,
+            self.conflict_budget,
+            self.portfolio,
+            mode=self.portfolio_mode,
+            probe=self.portfolio_probe,
+        )
         stats.conflicts += outcome.conflicts
         stats.decisions += outcome.decisions
         stats.propagations += outcome.propagations
@@ -475,14 +552,27 @@ class Solver:
         stats.clauses_blocked += outcome.clauses_blocked
         stats.per_query_conflicts.append(outcome.conflicts)
         stats.time_seconds += time.perf_counter() - started
+        if outcome.probe_decided:
+            stats.portfolio_probe_decided += 1
+        elif outcome.escalated:
+            stats.portfolio_escalations += 1
         if outcome.result is SatResult.UNKNOWN:
             stats.unknowns += 1
             return Result.UNKNOWN
-        wins = stats.portfolio_wins_by_config
-        wins[outcome.winner] = wins.get(outcome.winner, 0) + 1
+        if not outcome.probe_decided:
+            # Probe decisions are the baseline doing its ordinary job; the
+            # wins table counts races only, so it keeps measuring how often
+            # diversification (not triage) pays.
+            wins = stats.portfolio_wins_by_config
+            wins[outcome.winner] = wins.get(outcome.winner, 0) + 1
         if outcome.result is SatResult.SAT:
-            assert outcome.winner_blaster is not None
-            self.last_model = Model(outcome.winner_blaster)
+            if outcome.winner_blaster is not None:
+                self.last_model = Model(outcome.winner_blaster)
+            else:
+                # A "processes"-mode win: the model arrived as plain
+                # values and was already replay-verified by the pool.
+                assert outcome.winner_model is not None
+                self.last_model = ValuesModel(*outcome.winner_model)
             self._memo[bare_goal] = Result.SAT
             return Result.SAT
         self._memo[bare_goal] = Result.UNSAT

@@ -121,7 +121,10 @@ class BatchResult:
                 )
             )
             lines.append(
-                f"portfolio: queries={stats.portfolio_queries}"
+                f"portfolio: mode={stats.portfolio_mode or 'interleave'}"
+                f" queries={stats.portfolio_queries}"
+                f" probe_decided={stats.portfolio_probe_decided}"
+                f" escalations={stats.portfolio_escalations}"
                 f" wins=[{wins}]"
                 f" vars_eliminated={stats.vars_eliminated}"
                 f" clauses_blocked={stats.clauses_blocked}"

@@ -124,6 +124,8 @@ def validate_function(
         conflict_budget=options.keq.solver_conflict_budget,
         cache=cache,
         portfolio=options.keq.portfolio,
+        portfolio_mode=options.keq.portfolio_mode,
+        portfolio_probe=options.keq.portfolio_probe,
     )
 
     def done(

@@ -16,6 +16,8 @@ class TestRunFuzz:
         assert report.oracle_runs["positive-vs-negative-form"] == 12
         assert report.oracle_runs["incremental-vs-fresh"] == 12
         assert report.oracle_runs["cache-consistency"] == 1
+        assert report.oracle_runs["portfolio-vs-single"] == 3
+        assert report.oracle_runs["triage-vs-always-portfolio"] == 3
         assert report.elapsed_seconds > 0
         assert report.iterations_per_second() > 0
         assert "[ok]" in report.summary()

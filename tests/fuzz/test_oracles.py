@@ -274,3 +274,63 @@ class TestPortfolioVsSingleOracle:
         )
         assert violation is not None
         assert violation.oracle == "portfolio-vs-single"
+
+
+class TestTriageVsAlwaysOracle:
+    def test_stock_triage_is_clean(self):
+        from repro.fuzz.oracles import check_triage_vs_always
+
+        generator = TermGenerator(77, GenConfig())
+        for _ in range(10):
+            assert check_triage_vs_always(generator.formula()) is None
+
+    def test_verdict_flip_is_detected(self, monkeypatch):
+        from repro.fuzz.oracles import check_triage_vs_always
+        from repro.smt.sat import SatResult
+
+        real = oracles.run_portfolio
+
+        def lying(goal, budget, width=3, probe=0, **kwargs):
+            outcome = real(goal, budget, width=width, probe=probe, **kwargs)
+            if probe and outcome.result is SatResult.SAT:
+                outcome.result = SatResult.UNSAT
+            return outcome
+
+        monkeypatch.setattr(oracles, "run_portfolio", lying)
+        x = t.bv_var("x", 8)
+        violation = check_triage_vs_always(t.eq(x, t.bv_const(7, 8)))
+        assert violation is not None
+        assert violation.oracle == "triage-vs-always-portfolio"
+        assert "always-race" in violation.detail
+
+    def test_exhausted_set_divergence_is_detected(self, monkeypatch):
+        from repro.fuzz.oracles import check_triage_vs_always
+        from repro.smt.sat import SatResult
+
+        real = oracles.run_portfolio
+
+        def dropping(goal, budget, width=3, probe=0, **kwargs):
+            outcome = real(goal, budget, width=width, probe=probe, **kwargs)
+            if probe and outcome.result is SatResult.UNKNOWN:
+                outcome.exhausted = outcome.exhausted[:-1]
+            return outcome
+
+        monkeypatch.setattr(oracles, "run_portfolio", dropping)
+        # An UNSAT multiplication miter at a starved budget: UNKNOWN is
+        # guaranteed (no model to stumble on, no budget to prove UNSAT).
+        x = t.bv_var("x", 10)
+        c = 0x15D
+        acc = t.bv_const(0, 10)
+        bit = 0
+        k = c
+        while k:
+            if k & 1:
+                acc = t.add(acc, t.shl(x, t.bv_const(bit, 10)))
+            k >>= 1
+            bit += 1
+        hard = t.ne(t.mul(x, t.bv_const(c, 10)), acc)
+        monkeypatch.setattr(oracles, "ORACLE_BUDGET", 2)
+        violation = check_triage_vs_always(hard)
+        assert violation is not None
+        assert violation.oracle == "triage-vs-always-portfolio"
+        assert "exhausted" in violation.detail

@@ -123,12 +123,19 @@ class TestRaceVerdicts:
         encoding order, so the baseline grinds the hard head while the
         reversed-form member refutes the tail in its first slice."""
         query = t.and_(_miter(10, 0x15D, "x"), _miter(6, 0x2D, "z"))
-        solver = Solver(conflict_budget=100_000, portfolio=4)
+        # A small probe: the hard head survives it (the full default probe
+        # would grind this mid-size head out before ever racing).
+        solver = Solver(
+            conflict_budget=100_000, portfolio=4, portfolio_probe=256
+        )
         assert solver.check_sat(query) is Result.UNSAT
+        # The triage probe exhausts on the hard head, then the race runs.
+        assert solver.stats.portfolio_escalations == 1
         assert solver.stats.portfolio_wins_by_config == {
             "reversed-form": 1
         }
-        # The race decided well before the single-solver conflict count.
+        # Probe plus race still decided well before the single-solver
+        # conflict count (the miter head alone needs thousands).
         assert solver.stats.conflicts < 2_000
 
     def test_threads_mode_same_verdict(self):
@@ -146,11 +153,25 @@ class TestRaceVerdicts:
 
 
 class TestSolverIntegration:
-    def test_portfolio_counters_populate(self):
+    def test_easy_query_decided_by_probe(self):
+        # The width-5 miter needs ~30 conflicts: the triage probe decides
+        # it without ever racing, so no win is attributed.
         solver = Solver(conflict_budget=50_000, portfolio=4)
         assert solver.check_sat(_miter(5, 0xB)) is Result.UNSAT
         stats = solver.stats
         assert stats.portfolio_queries == 1
+        assert stats.portfolio_probe_decided == 1
+        assert stats.portfolio_escalations == 0
+        assert stats.portfolio_wins_by_config == {}
+        assert stats.portfolio_mode == "interleave"
+
+    def test_portfolio_counters_populate(self):
+        solver = Solver(conflict_budget=50_000, portfolio=4, portfolio_probe=0)
+        assert solver.check_sat(_miter(5, 0xB)) is Result.UNSAT
+        stats = solver.stats
+        assert stats.portfolio_queries == 1
+        assert stats.portfolio_probe_decided == 0
+        assert stats.portfolio_escalations == 0
         assert sum(stats.portfolio_wins_by_config.values()) == 1
 
     def test_portfolio_zero_means_auto_width(self, monkeypatch):
@@ -187,6 +208,91 @@ class TestSolverIntegration:
         with solver.session([t.ult(x, const(10))]) as session:
             assert session.check(t.ult(const(3), x)) is Result.SAT
         assert solver.stats.portfolio_queries == 0
+
+
+class TestTriage:
+    """Adaptive triage: probe-alone decisions, escalation, verdict identity."""
+
+    def test_probe_decided_flags_on_easy_query(self):
+        outcome = run_portfolio(_miter(5, 0xB), 50_000, width=4, probe=512)
+        assert outcome.result is SatResult.UNSAT
+        assert outcome.probe_decided
+        assert not outcome.escalated
+        assert outcome.winner == "baseline"
+
+    def test_escalation_flags_on_hard_query(self):
+        query = t.and_(_miter(10, 0x15D, "x"), _miter(6, 0x2D, "z"))
+        outcome = run_portfolio(query, 100_000, width=4, probe=512)
+        assert outcome.result is SatResult.UNSAT
+        assert outcome.escalated
+        assert not outcome.probe_decided
+        assert outcome.winner == "reversed-form"
+
+    def test_probe_zero_never_sets_flags(self):
+        outcome = run_portfolio(_miter(5, 0xB), 50_000, width=4, probe=0)
+        assert outcome.result is SatResult.UNSAT
+        assert not outcome.probe_decided
+        assert not outcome.escalated
+
+    def test_width_one_skips_the_probe(self):
+        # A width-1 "portfolio" is the single solver; probing first would
+        # just run the same member twice.
+        outcome = run_portfolio(_miter(5, 0xB), 50_000, width=1, probe=512)
+        assert outcome.result is SatResult.UNSAT
+        assert not outcome.probe_decided
+        assert not outcome.escalated
+
+    def test_triage_verdict_identical_to_always_race(self):
+        # The probe reuses the baseline runner's slice schedule, so the
+        # per-member search trajectories — and hence the verdict,
+        # including UNKNOWN — match an always-race run exactly.
+        x, y = bv("x"), bv("y")
+        cases = [
+            (t.and_(t.eq(t.mul(x, y), const(56)), t.ult(x, y)), 50_000),
+            (_miter(5, 0xB), 50_000),
+            (t.and_(_miter(10, 0x15D, "x"), _miter(6, 0x2D, "z")), 100_000),
+            (_miter(10, 0x15D), 2),  # starved: UNKNOWN both ways
+            (_miter(10, 0x15D), 700),  # starved mid-escalation
+        ]
+        for goal, budget in cases:
+            always = run_portfolio(goal, budget, width=4, probe=0)
+            triaged = run_portfolio(goal, budget, width=4, probe=512)
+            assert triaged.result is always.result, (goal, budget)
+            assert set(triaged.exhausted) == set(always.exhausted)
+
+    def test_unknown_on_escalation_reports_all_members_exhausted(self):
+        outcome = run_portfolio(_miter(10, 0x15D), 700, width=4, probe=512)
+        assert outcome.result is SatResult.UNKNOWN
+        assert outcome.escalated
+        assert set(outcome.exhausted) == {
+            m.name for m in portfolio_members(4)
+        }
+
+    def test_invalid_probe_rejected(self):
+        with pytest.raises(ValueError):
+            run_portfolio(_miter(5, 0xB), 100, width=2, probe=-1)
+        with pytest.raises(ValueError):
+            Solver(portfolio=2, portfolio_probe=-5)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_portfolio(_miter(5, 0xB), 100, width=2, mode="fibers")
+        with pytest.raises(ValueError):
+            Solver(portfolio=2, portfolio_mode="fibers")
+
+    def test_stats_mode_union_merges(self):
+        from repro.smt.solver import QueryStats
+
+        left = QueryStats(portfolio_mode="interleave")
+        right = QueryStats(
+            portfolio_mode="processes",
+            portfolio_probe_decided=3,
+            portfolio_escalations=1,
+        )
+        left.merge(right)
+        assert left.portfolio_mode == "interleave,processes"
+        assert left.portfolio_probe_decided == 3
+        assert left.portfolio_escalations == 1
 
 
 class TestMemberSoundness:

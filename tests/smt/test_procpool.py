@@ -1,0 +1,311 @@
+"""Process-mode portfolio racing: verdicts, pool reuse, orphan hygiene.
+
+The pool spawns real subprocesses (spawn context, same as the batch
+workers), so these tests keep widths small; the box may have a single
+CPU, which is exactly why every pool here passes an explicit ``slots``
+override — the clamp-to-CPUs default is tested separately.
+"""
+
+import logging
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.smt import terms as t
+from repro.smt.portfolio import (
+    portfolio_members,
+    run_portfolio,
+)
+from repro.smt.procpool import (
+    PortfolioPool,
+    set_shared_slots,
+    shared_pool,
+    shutdown_shared_pool,
+)
+from repro.smt.sat import SatResult
+from repro.smt.solver import Result, Solver
+
+
+def const(value, width=8):
+    return t.bv_const(value & ((1 << width) - 1), width)
+
+
+def bv(name, width=8):
+    return t.bv_var(name, width)
+
+
+def _shiftadd(x, c, width):
+    acc = t.bv_const(0, width)
+    bit = 0
+    while c:
+        if c & 1:
+            acc = t.add(acc, t.shl(x, t.bv_const(bit, width)))
+        c >>= 1
+        bit += 1
+    return acc
+
+
+def _miter(width, c, name="x"):
+    x = t.bv_var(name, width)
+    return t.ne(t.mul(x, t.bv_const(c, width)), _shiftadd(x, c, width))
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+def _wait_dead(pids, timeout=10.0) -> list[int]:
+    """Poll until every pid is gone; returns the stragglers (ideally [])."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        alive = [pid for pid in pids if _pid_alive(pid)]
+        if not alive:
+            return []
+        time.sleep(0.1)
+    return [pid for pid in pids if _pid_alive(pid)]
+
+
+@pytest.fixture
+def pool():
+    pool = PortfolioPool(slots=3)
+    yield pool
+    pool.shutdown()
+
+
+class TestRaceVerdicts:
+    def test_unsat_race(self, pool):
+        outcome = pool.race(_miter(5, 0xB), portfolio_members(3), 50_000)
+        assert outcome.result is SatResult.UNSAT
+        assert outcome.winner is not None
+        assert outcome.winner_model is None
+
+    def test_sat_race_ships_verified_model(self, pool):
+        x, y = bv("x"), bv("y")
+        goal = t.and_(t.eq(t.mul(x, y), const(56)), t.ult(x, y))
+        outcome = pool.race(goal, portfolio_members(3), 50_000)
+        assert outcome.result is SatResult.SAT
+        assert outcome.winner is not None
+        env, selects = outcome.winner_model
+        from repro.smt.portfolio import replay_model
+
+        assert replay_model(goal, env, selects)
+
+    def test_unknown_only_when_every_member_exhausts(self, pool):
+        outcome = pool.race(_miter(10, 0x15D), portfolio_members(3), 2)
+        assert outcome.result is SatResult.UNKNOWN
+        assert outcome.winner is None
+        assert set(outcome.exhausted) == {
+            m.name for m in portfolio_members(3)
+        }
+
+    def test_racers_are_reused_across_races(self, pool):
+        pool.race(_miter(5, 0xB), portfolio_members(2), 50_000)
+        first = set(pool.pids())
+        pool.race(_miter(6, 0x2D), portfolio_members(2), 50_000)
+        assert set(pool.pids()) == first
+
+    def test_width_clamped_to_slots_with_warning(self, caplog):
+        pool = PortfolioPool(slots=2)
+        try:
+            with caplog.at_level(logging.WARNING, "repro.smt.procpool"):
+                outcome = pool.race(
+                    _miter(5, 0xB), portfolio_members(4), 50_000
+                )
+            assert outcome.result is SatResult.UNSAT
+            assert len(pool.pids()) <= 2
+            assert any(
+                "clamping portfolio width" in rec.message
+                for rec in caplog.records
+            )
+        finally:
+            pool.shutdown()
+
+
+class TestPoolLifecycle:
+    def test_shutdown_reaps_every_racer(self, pool):
+        pool.prestart(3)
+        pids = pool.pids()
+        assert len(pids) == 3
+        pool.shutdown()
+        assert _wait_dead(pids) == []
+        with pytest.raises(RuntimeError):
+            pool.race(_miter(5, 0xB), portfolio_members(2), 100)
+
+    def test_shared_pool_respects_slot_override(self):
+        shutdown_shared_pool()
+        set_shared_slots(2)
+        try:
+            outcome = run_portfolio(
+                _miter(5, 0xB), 50_000, width=2, mode="processes", probe=0
+            )
+            assert outcome.result is SatResult.UNSAT
+            assert len(shared_pool().pids()) <= 2
+        finally:
+            shutdown_shared_pool()
+            set_shared_slots(None)
+
+    def test_interrupted_race_kills_pending_racers(self, pool):
+        # Blow up the first-answer path mid-race (replay_model is called
+        # on the winner's shipped model while the losers still race):
+        # every still-pending racer must be killed and dropped from the
+        # pool, not left solving behind the exception.
+        import repro.smt.portfolio as portfolio
+
+        x, y = bv("x"), bv("y")
+        goal = t.and_(t.eq(t.mul(x, y), const(56)), t.ult(x, y))
+        pool.prestart(2)
+        pids = pool.pids()
+        assert len(pids) == 2
+        original = portfolio.replay_model
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        portfolio.replay_model = boom
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                pool.race(goal, portfolio_members(2), 50_000)
+        finally:
+            portfolio.replay_model = original
+        # The pending loser was killed and forgotten; the winner's slot
+        # may legitimately survive (it already answered and sits idle),
+        # but only slots the pool still tracks may be alive.
+        alive = [pid for pid in pids if _pid_alive(pid)]
+        assert set(alive) <= set(pool.pids())
+        pool.shutdown()
+        assert _wait_dead(pids) == []
+
+
+class TestSolverIntegration:
+    def test_processes_mode_matches_single_solver(self):
+        shutdown_shared_pool()
+        set_shared_slots(3)
+        try:
+            x = bv("x")
+            cases = [
+                t.eq(t.mul(x, x), const(49)),
+                _miter(5, 0xB),
+                t.and_(t.ult(x, const(4)), t.ult(const(9), x)),
+            ]
+            for goal in cases:
+                single = Solver(conflict_budget=50_000).check_sat(goal)
+                raced = Solver(
+                    conflict_budget=50_000,
+                    portfolio=3,
+                    portfolio_mode="processes",
+                    portfolio_probe=0,
+                ).check_sat(goal)
+                assert raced is single
+        finally:
+            shutdown_shared_pool()
+            set_shared_slots(None)
+
+    def test_processes_mode_sat_model_readable(self):
+        shutdown_shared_pool()
+        set_shared_slots(2)
+        try:
+            x, y = bv("x"), bv("y")
+            goal = t.and_(t.eq(t.mul(x, y), const(56)), t.ult(x, y))
+            solver = Solver(
+                conflict_budget=50_000,
+                portfolio=2,
+                portfolio_mode="processes",
+                portfolio_probe=0,
+            )
+            assert solver.check_sat(goal, need_model=True) is Result.SAT
+            model = solver.last_model
+            assert model is not None
+            vx, vy = model.eval_bv(x), model.eval_bv(y)
+            assert (vx * vy) & 0xFF == 56
+            assert vx < vy
+            assert solver.stats.portfolio_mode == "processes"
+        finally:
+            shutdown_shared_pool()
+            set_shared_slots(None)
+
+    def test_probe_skips_the_pool_for_easy_queries(self):
+        # An easy query must never pay racer-subprocess costs: the probe
+        # decides in-process and the shared pool is never built.
+        shutdown_shared_pool()
+        try:
+            outcome = run_portfolio(
+                _miter(5, 0xB), 50_000, width=3, mode="processes", probe=512
+            )
+            assert outcome.result is SatResult.UNSAT
+            assert outcome.probe_decided
+            import repro.smt.procpool as procpool
+
+            assert procpool._SHARED is None
+        finally:
+            shutdown_shared_pool()
+
+
+_ORPHAN_DRIVER = """
+import os, sys, time
+sys.path.insert(0, {src!r})
+from repro.smt import terms as t
+from repro.smt.portfolio import portfolio_members
+from repro.smt.procpool import PortfolioPool
+
+def _shiftadd(x, c, width):
+    acc = t.bv_const(0, width); bit = 0
+    while c:
+        if c & 1: acc = t.add(acc, t.shl(x, t.bv_const(bit, width)))
+        c >>= 1; bit += 1
+    return acc
+
+def main():
+    pool = PortfolioPool(slots=2)
+    pool.prestart(2)
+    print("PIDS " + " ".join(str(p) for p in pool.pids()), flush=True)
+    x = t.bv_var("x", 12)
+    c = 0x5AD
+    goal = t.ne(t.mul(x, t.bv_const(c, 12)), _shiftadd(x, c, 12))
+    # A long race (no budget): the parent test SIGTERMs us mid-flight.
+    pool.race(goal, portfolio_members(2), None)
+
+if __name__ == "__main__":
+    main()
+"""
+
+
+class TestOrphanHygiene:
+    def test_sigterm_during_race_leaves_no_racers(self, tmp_path):
+        """Kill the racing parent; every racer must self-reap.
+
+        Racers poll their pipe between bounded slices and exit on EOF, so
+        even an uncatchable kill of the parent leaves no orphans beyond
+        the current slice.
+        """
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        script = tmp_path / "orphan_driver.py"
+        script.write_text(
+            _ORPHAN_DRIVER.format(src=os.path.abspath(src))
+        )
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("PIDS "), line
+            pids = [int(p) for p in line.split()[1:]]
+            assert len(pids) == 2
+            # Let the race actually start before pulling the trigger.
+            time.sleep(1.0)
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert _wait_dead(pids, timeout=15.0) == []

@@ -180,3 +180,81 @@ class TestPortfolioFlag:
             ]
         )
         assert args.portfolio == 4
+
+
+class TestPortfolioTuningFlags:
+    def test_mode_and_probe_parse_everywhere(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "single", "x.ll", "--portfolio", "2",
+                "--portfolio-mode", "processes", "--portfolio-probe", "64",
+            ]
+        )
+        assert args.portfolio_mode == "processes"
+        assert args.portfolio_probe == 64
+        args = parser.parse_args(
+            [
+                "campaign", "run", "--scale", "6",
+                "--portfolio", "2", "--portfolio-mode", "threads",
+            ]
+        )
+        assert args.portfolio_mode == "threads"
+        args = parser.parse_args(
+            [
+                "service", "coordinate", "--dir", "camp", "--scale", "6",
+                "--portfolio", "4", "--portfolio-probe", "0",
+            ]
+        )
+        assert args.portfolio_probe == 0
+
+    def test_single_runs_with_mode_and_probe(self, simple_file, capsys):
+        argv = [
+            "single", simple_file, "--portfolio", "2",
+            "--portfolio-mode", "interleave", "--portfolio-probe", "0",
+        ]
+        assert main(argv) == 0
+        assert "validated" in capsys.readouterr().out
+
+    def test_campaign_run_with_triage_probe(self, capsys):
+        argv = [
+            "campaign", "run", "--scale", "6", "--seed", "11",
+            "--portfolio", "2", "--portfolio-probe", "128",
+        ]
+        assert main(argv) == 0
+        assert "Succeeded" in capsys.readouterr().out
+
+    def test_mode_without_racing_width_rejected(self, simple_file):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["single", simple_file, "--portfolio-mode", "processes"]
+            )
+        assert "--portfolio 1" in str(exc.value)
+
+    def test_probe_without_racing_width_rejected(self, simple_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["single", simple_file, "--portfolio-probe", "64"])
+        assert "--portfolio 1" in str(exc.value)
+
+    def test_negative_probe_rejected(self, simple_file):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "single", simple_file, "--portfolio", "2",
+                    "--portfolio-probe", "-1",
+                ]
+            )
+        assert ">= 0" in str(exc.value)
+
+    def test_campaign_mode_without_width_rejected(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "campaign", "run", "--scale", "6",
+                    "--dir", str(tmp_path / "camp"),
+                    "--portfolio-mode", "threads",
+                ]
+            )
+        assert "--portfolio 1" in str(exc.value)
