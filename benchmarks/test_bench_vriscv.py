@@ -1,0 +1,99 @@
+"""Experiment: the second target ISA through the unmodified checker.
+
+The Virtual RISC-V backend (:mod:`repro.vriscv` + :mod:`repro.isel.riscv`)
+reuses the whole validation pipeline — same sync-point generator, same
+KEQ, same solver stack — through the target registry.  This benchmark
+runs the Figure 6-style corpus under both ``--target`` values and
+records, per target:
+
+- campaign wall-clock and per-function validation time;
+- solver query counts (total, fast-path, SAT calls);
+- the Figure 6 verdict counters.
+
+The reproduction contract asserted here is *parity*: identical verdict
+counters on both targets (the corpus calibration is ISA-independent),
+every function in its expected category, and solver work of the same
+order of magnitude.  Numbers land in ``BENCH_vriscv.json``.
+"""
+
+import time
+
+from repro.targets import TARGET_NAMES
+from repro.tv.batch import run_corpus
+from repro.tv.driver import TvOptions
+from repro.workloads import gcc_like_corpus
+
+SCALE = 24
+SEED = 2021
+
+
+def _run(target):
+    corpus = gcc_like_corpus(scale=SCALE, seed=SEED)
+    started = time.perf_counter()
+    result = run_corpus(
+        corpus, TvOptions.for_campaign(wall_budget_seconds=30.0, target=target)
+    )
+    elapsed = time.perf_counter() - started
+    return corpus, result, elapsed
+
+
+def test_bench_vriscv_parity(bench_json):
+    runs = {}
+    for target in TARGET_NAMES:
+        corpus, result, elapsed = _run(target)
+        runs[target] = (result, elapsed)
+
+        by_name = corpus.by_name()
+        for outcome in result.outcomes:
+            assert outcome.target == target
+            assert outcome.category == by_name[outcome.function].expect, (
+                target,
+                outcome.function,
+                outcome.category,
+            )
+
+    vx86, t_vx86 = runs["vx86"]
+    vriscv, t_vriscv = runs["vriscv"]
+
+    # Parity: the verdict counters are ISA-independent.
+    assert vx86.figure6_rows() == vriscv.figure6_rows()
+    assert vx86.category_counts == vriscv.category_counts
+
+    # Same pipeline, same order of solver work.  The bound is loose on
+    # purpose — fused RISC-V branches and the non-trapping division give
+    # slightly different obligation counts, not a different algorithm.
+    q_vx86 = max(1, vx86.solver_stats.queries)
+    q_vriscv = max(1, vriscv.solver_stats.queries)
+    assert 0.25 < q_vriscv / q_vx86 < 4.0, (q_vx86, q_vriscv)
+
+    print(f"\nsecond-ISA parity (scale {SCALE}):")
+    for name, (result, elapsed) in runs.items():
+        stats = result.solver_stats
+        print(
+            f"  {name}: {elapsed:.2f}s queries={stats.queries}"
+            f" fast-path={stats.fast_path} sat-calls={stats.sat_calls}"
+            f" success-rate={result.success_rate():.2f}"
+        )
+
+    bench_json(
+        "vriscv",
+        {
+            "scale": SCALE,
+            "seed": SEED,
+            "targets": {
+                name: {
+                    "wall_seconds": round(elapsed, 3),
+                    "mean_function_seconds": round(
+                        sum(result.times()) / max(1, len(result.times())), 4
+                    ),
+                    "queries": result.solver_stats.queries,
+                    "fast_path": result.solver_stats.fast_path,
+                    "sat_calls": result.solver_stats.sat_calls,
+                    "figure6": dict(result.figure6_rows()),
+                    "success_rate": round(result.success_rate(), 4),
+                }
+                for name, (result, elapsed) in runs.items()
+            },
+            "verdict_parity": vx86.figure6_rows() == vriscv.figure6_rows(),
+        },
+    )

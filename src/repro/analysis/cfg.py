@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import mir
 from repro.llvm import ir as lir
 from repro.llvm.verify import operands_of
-from repro.vx86 import insns as x
 
 
 @dataclass(frozen=True)
@@ -105,15 +105,15 @@ def _walk_operands(instruction: lir.Instruction):
 
 
 def _reg_name(operand) -> str | None:
-    if isinstance(operand, x.VReg):
+    if isinstance(operand, mir.VReg):
         return f"vr{operand.id}_{operand.width}"
-    if isinstance(operand, x.PReg):
-        return operand.name  # canonical 64-bit name
+    if isinstance(operand, mir.PhysReg):
+        return operand.name  # canonical full-width name
     return None
 
 
 class MachineGraph(FlowGraph):
-    def __init__(self, function: x.MachineFunction):
+    def __init__(self, function: mir.MachineFunction):
         self.function = function
 
     def block_names(self) -> list[str]:
@@ -135,7 +135,7 @@ class MachineGraph(FlowGraph):
                 name = _reg_name(operand)
                 if name is not None:
                     uses.add(name)
-                elif isinstance(operand, x.MemRef) and operand.base is not None:
+                elif isinstance(operand, mir.MemRef) and operand.base is not None:
                     base = _reg_name(operand.base)
                     if base is not None:
                         uses.add(base)
@@ -151,7 +151,7 @@ class MachineGraph(FlowGraph):
             operands = phi.operands
             incomings = []
             for value, label in zip(operands[0::2], operands[1::2]):
-                assert isinstance(label, x.Label)
+                assert isinstance(label, mir.Label)
                 incomings.append((label.name, _reg_name(value)))
             assert phi.result is not None
             result.append(PhiDef(_reg_name(phi.result), tuple(incomings)))

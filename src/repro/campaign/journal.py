@@ -89,6 +89,7 @@ def outcome_to_json(outcome: TvOutcome) -> dict:
     return {
         "function": outcome.function,
         "category": outcome.category,
+        "target": outcome.target,
         "detail": outcome.detail,
         "seconds": outcome.seconds,
         "code_size": outcome.code_size,
@@ -113,6 +114,7 @@ def outcome_from_json(payload: dict) -> TvOutcome:
     return TvOutcome(
         function=payload["function"],
         category=payload["category"],
+        target=payload.get("target", "vx86"),
         detail=payload.get("detail", ""),
         seconds=payload.get("seconds", 0.0),
         code_size=payload.get("code_size", 0),

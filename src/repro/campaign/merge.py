@@ -203,6 +203,8 @@ class CampaignStatus:
     #: merged portfolio counters (None when no portfolio race ran):
     #: queries, wins-by-config, vars_eliminated, clauses_blocked.
     portfolio_counters: dict | None = None
+    #: the target ISA recorded in the campaign manifest.
+    target: str = "vx86"
 
     @property
     def complete(self) -> bool:
@@ -215,6 +217,7 @@ class CampaignStatus:
         state = "complete" if self.complete else "in progress"
         lines = [
             f"campaign status: {state}",
+            f"target: {self.target}",
             f"functions: total={self.total_functions} run-units={self.run_total}",
             f"progress: done={self.done} replayed={self.replay_ready}"
             f" quarantined={self.quarantined} in-flight={self.in_flight}"
@@ -289,6 +292,7 @@ def build_status(manifest: dict, state: JournalState) -> CampaignStatus:
         duplicates=state.duplicates,
         session_counters=session_counters(report.batch.solver_stats),
         portfolio_counters=portfolio_counters(report.batch.solver_stats),
+        target=manifest.get("target", "vx86"),
     )
 
 

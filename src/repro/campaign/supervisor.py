@@ -55,6 +55,7 @@ from repro.campaign.merge import (
 from repro.campaign.shard import ShardItem, plan_shards
 from repro.keq.report import FAILURE_CLASS_TIMEOUT
 from repro.smt import DEFAULT_PROBE_CONFLICTS
+from repro.targets import DEFAULT_TARGET
 from repro.tv.batch import corpus_overrides
 from repro.tv.dedup import plan_dedup
 from repro.tv.driver import Category, TvOptions, TvOutcome
@@ -119,6 +120,8 @@ class CampaignConfig:
     #: conflicts per portfolio query before the full race runs (0 =
     #: always race).
     portfolio_probe: int = DEFAULT_PROBE_CONFLICTS
+    #: target ISA every function of the campaign validates against.
+    target: str = DEFAULT_TARGET
 
 
 def _base_options(
@@ -128,6 +131,7 @@ def _base_options(
     portfolio: int = 1,
     portfolio_mode: str = "interleave",
     portfolio_probe: int = DEFAULT_PROBE_CONFLICTS,
+    target: str = DEFAULT_TARGET,
 ) -> TvOptions:
     if wall_budget is None:
         options = TvOptions()
@@ -138,6 +142,7 @@ def _base_options(
     options.keq.portfolio = portfolio
     options.keq.portfolio_mode = portfolio_mode
     options.keq.portfolio_probe = portfolio_probe
+    options.target = target
     return options
 
 
@@ -225,6 +230,7 @@ def prepare_campaign(
         config.portfolio,
         config.portfolio_mode,
         config.portfolio_probe,
+        config.target,
     )
     overrides = corpus_overrides(corpus, base)
     names = list(module.functions)
@@ -271,6 +277,7 @@ def prepare_campaign(
         "portfolio": config.portfolio,
         "portfolio_mode": config.portfolio_mode,
         "portfolio_probe": config.portfolio_probe,
+        "target": config.target,
         "functions": names,
         "run_names": run_names,
         "replay": replay,
@@ -303,6 +310,7 @@ def prepare_resume(
     directory: str,
     corpus=None,
     validate=None,
+    target: str | None = None,
 ) -> tuple[PreparedCampaign, list[dict]]:
     """Plan the continuation of a crashed or halted campaign.
 
@@ -318,6 +326,15 @@ def prepare_resume(
         manifest = load_manifest(directory)
     except OSError as error:
         raise CampaignError(f"no campaign manifest in {directory!r}") from error
+    campaign_target = manifest.get("target", DEFAULT_TARGET)
+    if target is not None and target != campaign_target:
+        # Outcomes of the two targets are not interchangeable; resuming a
+        # vx86 campaign under --target vriscv would merge verdicts proved
+        # against a different semantics.
+        raise CampaignError(
+            f"campaign in {directory!r} targets {campaign_target!r};"
+            f" refusing to resume with target {target!r}"
+        )
     if corpus is None:
         desc = manifest["corpus"]
         if desc.get("kind") != "gcc_like":
@@ -335,6 +352,7 @@ def prepare_resume(
         manifest.get("portfolio", 1),
         manifest.get("portfolio_mode", "interleave"),
         manifest.get("portfolio_probe", DEFAULT_PROBE_CONFLICTS),
+        campaign_target,
     )
     overrides = corpus_overrides(corpus, base)
     state = load_state(directory)
@@ -444,10 +462,15 @@ def resume_campaign(
     directory: str,
     corpus=None,
     validate=None,
+    target: str | None = None,
 ) -> CampaignReport:
     """Resume a crashed or halted campaign: skip completed work, re-queue
-    in-flight functions exactly once, finish, and merge."""
-    prepared, recovery = prepare_resume(directory, corpus, validate)
+    in-flight functions exactly once, finish, and merge.
+
+    ``target`` (when given) must match the manifest's recorded target —
+    a mismatch raises :class:`CampaignError` instead of silently mixing
+    per-target verdicts."""
+    prepared, recovery = prepare_resume(directory, corpus, validate, target)
     manifest = prepared.manifest
     with Journal(directory) as journal:
         for event in recovery:

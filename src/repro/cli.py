@@ -28,10 +28,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.isel import BugMode, IselOptions, select_function
+from repro.isel import BugMode, IselOptions
 from repro.keq import KeqOptions
 from repro.llvm import parse_module
 from repro.smt import DEFAULT_PROBE_CONFLICTS, PORTFOLIO_MODES
+from repro.targets import DEFAULT_TARGET, TARGET_NAMES, get_target
 from repro.tv import TvOptions, validate_function
 from repro.tv.batch import run_corpus
 from repro.vcgen import generate_sync_points
@@ -95,6 +96,7 @@ def _tv_options(args) -> TvOptions:
             portfolio_probe=portfolio_probe,
         ),
         imprecise_liveness=args.imprecise_liveness,
+        target=getattr(args, "target", DEFAULT_TARGET),
     )
 
 
@@ -113,20 +115,22 @@ def cmd_single(args) -> int:
     module = parse_module(open(args.file).read())
     function = _pick_function(module, args.function)
     options = _tv_options(args)
+    target = get_target(options.target)
     if args.proof:
         options.keq.record_proof = True
         # Reuse the pipeline pieces so the Keq instance is accessible.
-        from repro.keq import Keq, default_acceptability
+        from repro.keq import Keq
         from repro.keq.proof import ProofChecker
         from repro.llvm.semantics import LlvmSemantics
-        from repro.vx86.semantics import Vx86Semantics
 
-        machine, hints = select_function(module, function, options.isel)
-        points = generate_sync_points(module, function, machine, hints)
+        machine, hints = target.select_function(module, function, options.isel)
+        points = generate_sync_points(
+            module, function, machine, hints, target=target.name
+        )
         keq = Keq(
             LlvmSemantics(module),
-            Vx86Semantics({machine.name: machine}),
-            default_acceptability(),
+            target.semantics({machine.name: machine}),
+            target.acceptability(),
             options.keq,
         )
         report = keq.check_equivalence(points)
@@ -148,7 +152,10 @@ def cmd_single(args) -> int:
 def cmd_show(args) -> int:
     module = parse_module(open(args.file).read())
     function = _pick_function(module, args.function)
-    machine, hints = select_function(module, function, _isel_options(args))
+    target = get_target(getattr(args, "target", DEFAULT_TARGET))
+    machine, hints = target.select_function(
+        module, function, _isel_options(args)
+    )
     print(function)
     print()
     print(machine)
@@ -156,6 +163,7 @@ def cmd_show(args) -> int:
     points = generate_sync_points(
         module, function, machine, hints,
         imprecise_liveness=args.imprecise_liveness,
+        target=target.name,
     )
     for point in points:
         print(point.describe())
@@ -202,6 +210,7 @@ def cmd_campaign_run(args) -> int:
         options.keq.portfolio = args.portfolio
         options.keq.portfolio_mode = portfolio_mode
         options.keq.portfolio_probe = portfolio_probe
+        options.target = args.target
         result = run_corpus(
             corpus,
             options,
@@ -233,8 +242,12 @@ def cmd_campaign_run(args) -> int:
         portfolio=args.portfolio,
         portfolio_mode=portfolio_mode,
         portfolio_probe=portfolio_probe,
+        target=args.target,
     )
-    print(f"campaign: {args.dir} (shards={args.shards}, jobs={jobs})")
+    print(
+        f"campaign: {args.dir} (shards={args.shards}, jobs={jobs},"
+        f" target={args.target})"
+    )
     try:
         report = run_campaign(args.dir, config)
     except CampaignInterrupted as halt:
@@ -250,7 +263,7 @@ def cmd_campaign_resume(args) -> int:
     from repro.campaign import CampaignError, CampaignInterrupted, resume_campaign
 
     try:
-        report = resume_campaign(args.dir)
+        report = resume_campaign(args.dir, target=args.target)
     except CampaignInterrupted as halt:
         print(f"campaign halted: {halt}")
         return EXIT_CAMPAIGN_INTERRUPTED
@@ -288,6 +301,7 @@ def cmd_service_coordinate(args) -> int:
         portfolio=args.portfolio,
         portfolio_mode=portfolio_mode,
         portfolio_probe=portfolio_probe,
+        target=args.target,
     )
     service = ServiceConfig(
         host=args.host,
@@ -415,8 +429,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_target(p):
+        p.add_argument(
+            "--target",
+            choices=list(TARGET_NAMES),
+            default=DEFAULT_TARGET,
+            help=f"target ISA to validate against (default: {DEFAULT_TARGET})",
+        )
+
     def add_common(p):
         p.add_argument("--function", help="function name (default: the only one)")
+        _add_target(p)
         p.add_argument("--merge-stores", action="store_true")
         p.add_argument("--narrow-loads", action="store_true")
         p.add_argument("--bug", choices=["waw", "narrow"])
@@ -471,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = campaign_sub.add_parser(
         "run", help="rerun the Figure 6/7 evaluation (durable with --dir)"
     )
+    _add_target(run)
     run.add_argument("--scale", type=int, default=120)
     run.add_argument("--seed", type=int, default=2021)
     run.add_argument(
@@ -560,6 +584,13 @@ def build_parser() -> argparse.ArgumentParser:
         "resume", help="resume a crashed or halted campaign directory"
     )
     resume.add_argument("dir")
+    resume.add_argument(
+        "--target",
+        choices=list(TARGET_NAMES),
+        default=None,
+        help="assert the campaign's target ISA; a mismatch with the"
+        " manifest refuses to resume (default: accept the manifest's)",
+    )
     resume.set_defaults(run=cmd_campaign_resume)
 
     status = campaign_sub.add_parser(
@@ -579,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
         " directory that already holds a manifest)",
     )
     coordinate.add_argument("--dir", required=True, help="campaign directory")
+    _add_target(coordinate)
     coordinate.add_argument("--scale", type=int, default=120)
     coordinate.add_argument("--seed", type=int, default=2021)
     coordinate.add_argument("--wall-budget", type=float, default=30.0)

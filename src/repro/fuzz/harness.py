@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.fuzz.generator import GenConfig, TermGenerator
+from repro.fuzz.lowering_oracle import check_cross_target_exec
 from repro.fuzz.oracles import (
     Violation,
     brute_force_eligible,
@@ -129,7 +130,7 @@ def run_fuzz(
         witnesses = violation.witnesses
         shrunk = (
             shrink(witnesses, violation.predicate)
-            if shrink_failures
+            if shrink_failures and witnesses
             else witnesses
         )
         report.violations.append(
@@ -208,6 +209,17 @@ def run_fuzz(
         if iteration % 4 == 3:
             ran("triage-vs-always-portfolio")
             record(check_triage_vs_always(formula), iteration)
+
+        # 10. cross-target lowering execution: one generated LLVM
+        #     function co-executed against its vx86 and vriscv lowerings
+        #     on concrete inputs.  Every fifth iteration — each round
+        #     runs instruction selection twice and three interpreters.
+        if iteration % 5 == 2:
+            ran("cross-target-exec")
+            record(
+                check_cross_target_exec(seed * 100_003 + iteration),
+                iteration,
+            )
 
         # 8. cache outcome-identity over the recent query batch.
         pending_cache_batch.append(formula)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.vx86.insns import VReg
+from repro.mir import VReg
 
 
 def vreg_key(reg: VReg) -> str:

@@ -7,6 +7,11 @@ used only by a ``br`` in the same block becomes ``cmp``+``jcc``), phi
 lowering with constants materialized in predecessor blocks, allocas as
 frame objects, and GEP lowering to ``lea``/address arithmetic.
 
+:class:`_Lowerer` doubles as the target-parametric lowering skeleton:
+its structural passes are shared with the Virtual RISC-V lowering in
+:mod:`repro.isel.riscv`, which overrides the target hook attributes and
+the compare/branch/select methods (RISC-V has no flags register).
+
 The optimizations of :class:`IselOptions` (store merging, load narrowing)
 and their buggy variants live in :mod:`repro.isel.optimize`.
 """
@@ -145,6 +150,36 @@ def _value_width(type_: Type) -> int:
 
 
 class _Lowerer:
+    """The target-parametric lowering skeleton (vx86 defaults).
+
+    Everything structural — SSA vreg assignment, phi lowering with
+    predecessor materialization, GEP address arithmetic, frame objects,
+    the store-merging/load-narrowing combines — is shared across
+    targets.  The hooks below name the target's instruction class,
+    calling convention and opcode vocabulary; control-flow and compare
+    lowering (flags on x86, fused branches on RISC-V) differ enough that
+    subclasses override those methods wholesale.
+    """
+
+    #: the target's instruction dataclass (validates its opcode set).
+    MINSTR = MInstr
+    #: the target's physical-register class and calling convention.
+    PHYS = PReg
+    ARGUMENT_REGISTERS = ARGUMENT_REGISTERS
+    RETURN_REGISTER = "rax"
+    #: opcode vocabulary used by the shared lowering paths.
+    MOV = "mov"  # register <- immediate
+    LEA = "lea"  # register <- address of MemRef
+    ADD = "add"
+    MUL = "imul"
+    SHL = "shl"
+    ZEXT = "movzx"
+    SEXT = "movsx"
+    #: LLVM binop -> machine opcode.
+    BINOPS = _BINOP_OPCODES
+    #: division opcodes whose second operand must be a register.
+    DIV_OPS = ("idiv", "irem", "udiv", "urem")
+
     def __init__(self, module: ir.Module, function: ir.Function, options: IselOptions):
         self.module = module
         self.function = function
@@ -164,8 +199,8 @@ class _Lowerer:
         self._vreg_counter += 1
         return reg
 
-    def _emit(self, opcode: str, operands=(), result=None) -> MInstr:
-        instruction = MInstr(opcode, tuple(operands), result)
+    def _emit(self, opcode: str, operands=(), result=None):
+        instruction = self.MINSTR(opcode, tuple(operands), result)
         assert self._current is not None
         self._current.instructions.append(instruction)
         return instruction
@@ -212,13 +247,13 @@ class _Lowerer:
             return lowered
         if isinstance(lowered, Imm):
             reg = self._fresh_vreg(width)
-            self._emit("mov", [Imm(lowered.value, width)], reg)
+            self._emit(self.MOV, [Imm(lowered.value, width)], reg)
             self.hints.const_regs[vreg_key(reg)] = lowered.value
             return reg
         if isinstance(lowered, _Addr):
             reg = self._fresh_vreg(64)
             self._emit(
-                "lea", [MemRef(8, object=lowered.object, disp=lowered.disp)], reg
+                self.LEA, [MemRef(8, object=lowered.object, disp=lowered.disp)], reg
             )
             return reg
         raise IselError(f"cannot materialize {lowered!r}")
@@ -264,11 +299,14 @@ class _Lowerer:
             self.hints.reg_map[name] = self._fresh_vreg(width)
 
     def _lower_prologue(self) -> None:
-        if len(self.function.parameters) > len(ARGUMENT_REGISTERS):
-            raise IselError("more than six integer arguments (stack args)")
+        if len(self.function.parameters) > len(self.ARGUMENT_REGISTERS):
+            raise IselError(
+                f"more than {len(self.ARGUMENT_REGISTERS)} integer arguments"
+                " (stack args)"
+            )
         for index, (name, type_) in enumerate(self.function.parameters):
             width = _value_width(type_)
-            source = PReg(ARGUMENT_REGISTERS[index], width)
+            source = self.PHYS(self.ARGUMENT_REGISTERS[index], width)
             self._emit("COPY", [source], self.hints.reg_map[name])
 
     def _lower_block(self, block: ir.Block) -> None:
@@ -309,12 +347,12 @@ class _Lowerer:
         target = self.machine.block(label)
         if isinstance(lowered, Imm):
             reg = self._fresh_vreg(width)
-            instruction = MInstr("mov", (Imm(lowered.value, width),), reg)
+            instruction = self.MINSTR(self.MOV, (Imm(lowered.value, width),), reg)
             self.hints.const_regs[vreg_key(reg)] = lowered.value
         else:
             reg = self._fresh_vreg(64)
-            instruction = MInstr(
-                "lea", (MemRef(8, object=lowered.object, disp=lowered.disp),), reg
+            instruction = self.MINSTR(
+                self.LEA, (MemRef(8, object=lowered.object, disp=lowered.disp),), reg
             )
         position = next(
             (
@@ -374,20 +412,22 @@ class _Lowerer:
         lhs = self._as_register(lhs, width)
         if isinstance(rhs, _Addr):
             rhs = self._as_register(rhs, width)
-        opcode = _BINOP_OPCODES[instruction.op]
-        if opcode in ("idiv", "irem", "udiv", "urem") and isinstance(rhs, Imm):
-            rhs = self._as_register(rhs, width)  # x86 division needs a register
+        opcode = self.BINOPS[instruction.op]
+        if opcode in self.DIV_OPS and isinstance(rhs, Imm):
+            rhs = self._as_register(rhs, width)  # division needs a register
         if (
             self.options.mul_decompose
-            and opcode == "imul"
+            and opcode == self.MUL
             and isinstance(rhs, Imm)
             and rhs.value in _MUL_DECOMPOSE
         ):
             shift, combine = _MUL_DECOMPOSE[rhs.value]
             shifted = self._fresh_vreg(width)
-            self._emit("shl", [lhs, Imm(shift, width)], shifted)
+            self._emit(self.SHL, [lhs, Imm(shift, width)], shifted)
             self._emit(
-                combine, [shifted, lhs], self.hints.reg_map[instruction.name]
+                self.BINOPS[combine],
+                [shifted, lhs],
+                self.hints.reg_map[instruction.name],
             )
             return
         self._emit(opcode, [lhs, rhs], self.hints.reg_map[instruction.name])
@@ -463,10 +503,12 @@ class _Lowerer:
             if isinstance(lowered, VReg):
                 self._emit("COPY", [lowered], reg)
             elif isinstance(lowered, Imm):
-                self._emit("mov", [Imm(lowered.value, reg.width)], reg)
+                self._emit(self.MOV, [Imm(lowered.value, reg.width)], reg)
             else:
                 self._emit(
-                    "lea", [MemRef(8, object=lowered.object, disp=lowered.disp)], reg
+                    self.LEA,
+                    [MemRef(8, object=lowered.object, disp=lowered.disp)],
+                    reg,
                 )
             if isinstance(instruction.value, ir.LocalRef):
                 base = self.hints.pointer_objects.get(instruction.value.name)
@@ -488,15 +530,15 @@ class _Lowerer:
             elif to_width < from_width:
                 self._emit("COPY", [source], reg)
             else:
-                self._emit("movzx", [source], reg)
+                self._emit(self.ZEXT, [source], reg)
             if isinstance(instruction.value, ir.LocalRef):
                 base = self.hints.pointer_objects.get(instruction.value.name)
                 if base is not None:
                     self.hints.pointer_objects[instruction.name] = base
         elif op == "zext":
-            self._emit("movzx", [source], reg)
+            self._emit(self.ZEXT, [source], reg)
         elif op == "sext":
-            self._emit("movsx", [source], reg)
+            self._emit(self.SEXT, [source], reg)
         elif op == "trunc":
             self._emit("COPY", [source], reg)
         else:
@@ -513,7 +555,7 @@ class _Lowerer:
                 instruction.base_type, [index.value for index in indices]
             )
             reg = self.hints.reg_map[instruction.name]
-            self._emit("lea", [MemRef(8, object=base.object, disp=disp)], reg)
+            self._emit(self.LEA, [MemRef(8, object=base.object, disp=disp)], reg)
             self.hints.pointer_objects[instruction.name] = base.object
             return
         current = self._as_register(base, 64)
@@ -547,9 +589,9 @@ class _Lowerer:
                 )
                 wide = self._widen_to_64(index_reg)
                 scaled = self._fresh_vreg(64)
-                self._emit("imul", [wide, Imm(scale, 64)], scaled)
+                self._emit(self.MUL, [wide, Imm(scale, 64)], scaled)
                 summed = self._fresh_vreg(64)
-                self._emit("add", [current, scaled], summed)
+                self._emit(self.ADD, [current, scaled], summed)
                 current = summed
         assigned = self.hints.reg_map[instruction.name]
         if current is not assigned:
@@ -559,14 +601,14 @@ class _Lowerer:
         if offset == 0:
             return base
         reg = self._fresh_vreg(64)
-        self._emit("add", [base, Imm(offset, 64)], reg)
+        self._emit(self.ADD, [base, Imm(offset, 64)], reg)
         return reg
 
     def _widen_to_64(self, reg: VReg) -> VReg:
         if reg.width == 64:
             return reg
         wide = self._fresh_vreg(64)
-        self._emit("movsx", [reg], wide)  # GEP indices are sign-extended
+        self._emit(self.SEXT, [reg], wide)  # GEP indices are sign-extended
         return wide
 
     def _lower_load(self, block: ir.Block, instruction: ir.Load) -> None:
@@ -606,7 +648,7 @@ class _Lowerer:
         else:
             narrow = self._fresh_vreg(memref.width_bytes * 8)
             self._emit("load", [memref], narrow)
-            self._emit("movzx", [narrow], reg)
+            self._emit(self.ZEXT, [narrow], reg)
         self._skip.add(id(pattern.shift))
         self._skip.add(id(pattern.trunc))
         return True
@@ -627,25 +669,29 @@ class _Lowerer:
         object_name = f"stack.{self.function.name}.{instruction.name}"
         self.machine.frame_objects[object_name] = sizeof(instruction.allocated_type)
         reg = self.hints.reg_map[instruction.name]
-        self._emit("lea", [MemRef(8, object=object_name)], reg)
+        self._emit(self.LEA, [MemRef(8, object=object_name)], reg)
         self.hints.pointer_objects[instruction.name] = object_name
         self.hints.frame_objects[instruction.name] = object_name
 
     def _lower_call(self, instruction: ir.Call) -> None:
-        if len(instruction.arguments) > len(ARGUMENT_REGISTERS):
-            raise IselError("more than six call arguments")
-        used_registers: list[PReg] = []
+        if len(instruction.arguments) > len(self.ARGUMENT_REGISTERS):
+            raise IselError(
+                f"more than {len(self.ARGUMENT_REGISTERS)} call arguments"
+            )
+        used_registers = []
         for index, (type_, value) in enumerate(instruction.arguments):
             width = _value_width(type_)
             source = self._as_register(self._lower_operand(value), width)
-            target = PReg(ARGUMENT_REGISTERS[index], width)
+            target = self.PHYS(self.ARGUMENT_REGISTERS[index], width)
             self._emit("COPY", [source], target)
             used_registers.append(target)
         self._emit("call", [Label(instruction.callee), *used_registers])
         if instruction.name is not None:
             width = _value_width(instruction.return_type)
             self._emit(
-                "COPY", [PReg("rax", width)], self.hints.reg_map[instruction.name]
+                "COPY",
+                [self.PHYS(self.RETURN_REGISTER, width)],
+                self.hints.reg_map[instruction.name],
             )
 
     def _lower_br(self, block: ir.Block, instruction: ir.Br) -> None:
@@ -684,7 +730,7 @@ class _Lowerer:
         if instruction.value is not None:
             width = _value_width(instruction.type)
             source = self._as_register(self._lower_operand(instruction.value), width)
-            self._emit("COPY", [source], PReg("rax", width))
+            self._emit("COPY", [source], self.PHYS(self.RETURN_REGISTER, width))
         self._emit("ret")
 
     # -- optimizations ----------------------------------------------------------------------

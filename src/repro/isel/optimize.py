@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from repro.isel.bugs import BugMode
 from repro.llvm import ir
 from repro.llvm.types import IntType, sizeof
-from repro.vx86.insns import Imm, MachineBlock, MemRef, MInstr
+from repro.mir import Imm, MachineBlock, MemRef
+from repro.vx86.insns import MInstr
 
 
 # ---------------------------------------------------------------------------
@@ -118,7 +119,9 @@ def _merge_pair(first: MInstr, second: MInstr) -> MInstr | None:
                 source.value >> (8 * byte_index)
             ) & 0xFF
     merged_value = int.from_bytes(bytes(value_bytes), "little")
-    return MInstr(
+    # Build the merged store with the same instruction class as its inputs,
+    # so the combine works on every target's machine IR.
+    return type(first)(
         "store",
         (MemRef(4, object=obj_a, disp=low), Imm(merged_value, 32)),
     )

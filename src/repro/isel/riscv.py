@@ -1,0 +1,206 @@
+"""The instruction-selection lowering from LLVM IR to Virtual RISC-V.
+
+Reuses the structural skeleton of :class:`repro.isel.lowering._Lowerer`
+(SSA vreg assignment, phi materialization, GEP arithmetic, frame
+objects, the store-merging/load-narrowing combines and their seeded
+bugs, ``--mul-decompose`` shift/add strength reduction) and replaces the
+flags-based compare/branch/select lowering with RISC-V idiom:
+
+- branches fuse compare-and-branch (``blt rs1, rs2, label``), swapping
+  operands for the predicates RISC-V has no direct encoding for
+  (``sgt`` -> ``blt`` swapped);
+- materialized comparisons go through ``slt``/``sltu`` (inverted
+  predicates XOR the result with 1) and ``xor``+``seqz``/``snez`` for
+  equality;
+- ``select`` lowers to the ``sel`` pseudo instead of ``cmov``;
+- a comparison against constant zero uses the hardwired ``zero``
+  register rather than materializing an immediate.
+"""
+
+from __future__ import annotations
+
+from repro.isel.hints import IselHints
+from repro.isel.lowering import (
+    IselOptions,
+    _Addr,
+    _Lowerer,
+    _value_width,
+)
+from repro.llvm import ir
+from repro.llvm.types import PointerType
+from repro.vriscv.insns import (
+    ARGUMENT_REGISTERS,
+    Imm,
+    Label,
+    MachineFunction,
+    MInstr,
+    RETURN_REGISTER,
+    XReg,
+    ZERO_REGISTER,
+)
+
+#: icmp predicate -> (branch opcode, swap operands) when fused with a br.
+_PREDICATE_BRANCH = {
+    "eq": ("beq", False),
+    "ne": ("bne", False),
+    "slt": ("blt", False),
+    "sge": ("bge", False),
+    "ult": ("bltu", False),
+    "uge": ("bgeu", False),
+    "sgt": ("blt", True),
+    "sle": ("bge", True),
+    "ugt": ("bltu", True),
+    "ule": ("bgeu", True),
+}
+
+#: icmp predicate -> (compare opcode, swap operands, invert result) when
+#: the 0/1 value is materialized.
+_PREDICATE_COMPARE = {
+    "slt": ("slt", False, False),
+    "sgt": ("slt", True, False),
+    "sge": ("slt", False, True),
+    "sle": ("slt", True, True),
+    "ult": ("sltu", False, False),
+    "ugt": ("sltu", True, False),
+    "uge": ("sltu", False, True),
+    "ule": ("sltu", True, True),
+}
+
+
+class _RiscvLowerer(_Lowerer):
+    MINSTR = MInstr
+    PHYS = XReg
+    ARGUMENT_REGISTERS = ARGUMENT_REGISTERS
+    RETURN_REGISTER = RETURN_REGISTER
+    MOV = "li"
+    LEA = "la"
+    ADD = "add"
+    MUL = "mul"
+    SHL = "sll"
+    ZEXT = "zext"
+    SEXT = "sext"
+    BINOPS = {
+        "add": "add",
+        "sub": "sub",
+        "mul": "mul",
+        "and": "and",
+        "or": "or",
+        "xor": "xor",
+        "shl": "sll",
+        "lshr": "srl",
+        "ashr": "sra",
+        "sdiv": "div",
+        "srem": "rem",
+        "udiv": "divu",
+        "urem": "remu",
+    }
+    DIV_OPS = ("div", "rem", "divu", "remu")
+
+    # -- comparisons ---------------------------------------------------------------
+
+    def _compare_operands(self, instruction: ir.Icmp):
+        width = (
+            64
+            if isinstance(instruction.operand_type, PointerType)
+            else _value_width(instruction.operand_type)
+        )
+        lhs = self._as_register(self._lower_operand(instruction.lhs), width)
+        rhs = self._lower_operand(instruction.rhs)
+        if isinstance(rhs, _Addr):
+            rhs = self._as_register(rhs, width)
+        return width, lhs, rhs
+
+    def _emit_compare(self, instruction: ir.Icmp, dest) -> None:
+        """Materialize an icmp as a 0/1 value in ``dest``."""
+        width, lhs, rhs = self._compare_operands(instruction)
+        predicate = instruction.predicate
+        if predicate in ("eq", "ne"):
+            diff = self._fresh_vreg(width)
+            self._emit("xor", [lhs, rhs], diff)
+            self._emit("seqz" if predicate == "eq" else "snez", [diff], dest)
+            return
+        opcode, swap, invert = _PREDICATE_COMPARE[predicate]
+        if swap and isinstance(rhs, Imm):
+            rhs = self._as_register(rhs, width)
+        first, second = (rhs, lhs) if swap else (lhs, rhs)
+        if invert:
+            raw = self._fresh_vreg(dest.width)
+            self._emit(opcode, [first, second], raw)
+            self._emit("xor", [raw, Imm(1, raw.width)], dest)
+        else:
+            self._emit(opcode, [first, second], dest)
+
+    def _lower_icmp_standalone(self, instruction: ir.Icmp) -> None:
+        if instruction.name in self._fused_icmps:
+            return
+        self._emit_compare(instruction, self.hints.reg_map[instruction.name])
+
+    # -- select --------------------------------------------------------------------
+
+    def _lower_select(self, block: ir.Block, instruction: ir.Select) -> None:
+        width = _value_width(instruction.type)
+        true_value = self._as_register(
+            self._lower_operand(instruction.true_value), width
+        )
+        false_value = self._as_register(
+            self._lower_operand(instruction.false_value), width
+        )
+        fused = self._fusable_select_icmp(block, instruction)
+        if fused is not None:
+            condition = self._fresh_vreg(8)
+            self._emit_compare(fused, condition)
+        else:
+            condition = self._as_register(
+                self._lower_operand(instruction.condition), 8
+            )
+        self._emit(
+            "sel",
+            [condition, true_value, false_value],
+            self.hints.reg_map[instruction.name],
+        )
+
+    # -- branches ------------------------------------------------------------------
+
+    def _lower_br(self, block: ir.Block, instruction: ir.Br) -> None:
+        if instruction.condition is None:
+            self._emit("j", [Label(self.hints.block_map[instruction.true_target])])
+            return
+        condition = instruction.condition
+        target = Label(self.hints.block_map[instruction.true_target])
+        fused = self._fusable_icmp(block, condition)
+        if fused is not None and fused.name in self._fused_icmps:
+            self._emit_fused_branch(fused, target)
+        else:
+            reg = self._as_register(self._lower_operand(condition), 8)
+            self._emit("bne", [reg, XReg(ZERO_REGISTER, 8), target])
+        self._emit("j", [Label(self.hints.block_map[instruction.false_target])])
+
+    def _emit_fused_branch(self, fused: ir.Icmp, target: Label) -> None:
+        width, lhs, rhs = self._compare_operands(fused)
+        if isinstance(rhs, Imm):
+            # Branches compare registers; zero rides on the hardwired x0.
+            if rhs.value == 0:
+                rhs = XReg(ZERO_REGISTER, width)
+            else:
+                rhs = self._as_register(rhs, width)
+        opcode, swap = _PREDICATE_BRANCH[fused.predicate]
+        first, second = (rhs, lhs) if swap else (lhs, rhs)
+        self._emit(opcode, [first, second, target])
+
+
+def select_function(
+    module: ir.Module,
+    function: ir.Function,
+    options: IselOptions | None = None,
+) -> tuple[MachineFunction, IselHints]:
+    """Run instruction selection to Virtual RISC-V on one function."""
+    return _RiscvLowerer(module, function, options or IselOptions()).run()
+
+
+def select_module(
+    module: ir.Module, options: IselOptions | None = None
+) -> dict[str, tuple[MachineFunction, IselHints]]:
+    return {
+        name: select_function(module, function, options)
+        for name, function in module.functions.items()
+    }

@@ -1,0 +1,178 @@
+"""Target-independent machine-IR containers and operand kinds.
+
+Every virtual target (``repro.vx86``, ``repro.vriscv``) describes its
+programs with the same containers — :class:`MachineBlock` lists of
+uniform instruction records inside a :class:`MachineFunction` — and the
+same operand vocabulary: virtual registers, physical-register views,
+immediates, labels and memory references.  What differs per target is
+the opcode vocabulary and the instruction record validating it, so each
+target defines its own ``MInstr`` dataclass; the only contract the
+shared containers rely on is ``branch_targets()`` (the labels an
+instruction may transfer control to) and the ``COPY``/``PHI``
+pseudo-ops shared by every ISel lowering.
+
+Keeping these shapes in one place is what lets the analyses
+(`repro.analysis.cfg`), the sync-point generator (`repro.vcgen`) and the
+lowering skeleton (`repro.isel.lowering`) stay target-parametric: they
+type-check operands against the classes here, never against a target
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, Union
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register ``%vr<id>_<width>`` (shared across targets)."""
+
+    id: int
+    width: int  # bits
+
+    def __str__(self) -> str:
+        return f"%vr{self.id}_{self.width}"
+
+
+@dataclass(frozen=True)
+class PhysReg:
+    """A physical register access: canonical machine name + view width.
+
+    Targets subclass this to attach their own naming/printing rules
+    (x86 sub-register aliases, RISC-V ABI names); analyses match on the
+    base class so they never need to know which target produced an
+    operand.
+    """
+
+    name: str
+    width: int
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: int
+    width: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory operand: ``[object + base + disp]`` with byte access width.
+
+    ``object`` names a memory object (a global or a frame slot) and ``base``
+    is an optional register holding a byte offset *or* a full pointer (when
+    ``object`` is None).  This mirrors the addressing shapes ISel emits
+    with the common memory model, on every target.
+    """
+
+    width_bytes: int
+    object: str | None = None
+    base: Union[VReg, PhysReg, None] = None
+    disp: int = 0
+
+    def __str__(self) -> str:
+        parts = []
+        if self.object is not None:
+            parts.append(self.object)
+        if self.base is not None:
+            parts.append(str(self.base))
+        if self.disp or not parts:
+            parts.append(str(self.disp))
+        return f"[{' + '.join(parts)}]"
+
+
+Operand = Union[VReg, PhysReg, Imm, Label, MemRef]
+
+
+class Instruction(Protocol):
+    """What the shared containers require of a target's instruction type."""
+
+    opcode: str
+    operands: tuple
+    result: object
+
+    def branch_targets(self) -> list[str]: ...
+
+    @property
+    def is_terminator(self) -> bool: ...
+
+
+@dataclass
+class MachineBlock:
+    name: str
+    instructions: list = field(default_factory=list)
+
+    def successors(self) -> list[str]:
+        result = []
+        for instruction in self.instructions:
+            result.extend(instruction.branch_targets())
+        return result
+
+    def phis(self) -> list:
+        result = []
+        for instruction in self.instructions:
+            if instruction.opcode == "PHI":
+                result.append(instruction)
+            else:
+                break
+        return result
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines += [f"  {instruction}" for instruction in self.instructions]
+        return "\n".join(lines)
+
+
+@dataclass
+class MachineFunction:
+    name: str
+    blocks: dict[str, MachineBlock] = field(default_factory=dict)
+    #: frame slots: object name -> byte size (objects in the common memory
+    #: model, shared with the LLVM side's allocas by construction).
+    frame_objects: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entry_block(self) -> MachineBlock:
+        return next(iter(self.blocks.values()))
+
+    def block(self, name: str) -> MachineBlock:
+        if name not in self.blocks:
+            raise KeyError(f"no block {name!r} in {self.name}")
+        return self.blocks[name]
+
+    def add_block(self, block: MachineBlock) -> MachineBlock:
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block {block.name!r}")
+        self.blocks[block.name] = block
+        return block
+
+    def predecessors(self) -> dict[str, list[str]]:
+        result: dict[str, list[str]] = {name: [] for name in self.blocks}
+        for block in self.blocks.values():
+            for successor in block.successors():
+                result[successor].append(block.name)
+        return result
+
+    def instructions(self) -> Iterator[tuple[str, int, object]]:
+        for block in self.blocks.values():
+            for index, instruction in enumerate(block.instructions):
+                yield block.name, index, instruction
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        for object_name, size in self.frame_objects.items():
+            lines.append(f"frame {object_name}, {size}")
+        for block in self.blocks.values():
+            lines.append(str(block))
+        return "\n".join(lines)

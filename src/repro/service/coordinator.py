@@ -280,6 +280,7 @@ class Coordinator:
             "portfolio_probe": manifest.get(
                 "portfolio_probe", DEFAULT_PROBE_CONFLICTS
             ),
+            "target": manifest.get("target", "vx86"),
             "imprecise": self._imprecise,
             "cache_dir": manifest["cache_dir"],
             "validate": manifest.get("validate"),

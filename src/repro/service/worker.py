@@ -233,6 +233,7 @@ class ServiceWorker:
             welcome.get("portfolio", 1),
             welcome.get("portfolio_mode", "interleave"),
             welcome.get("portfolio_probe", DEFAULT_PROBE_CONFLICTS),
+            welcome.get("target", "vx86"),
         )
         overrides = {
             name: dataclasses.replace(base, imprecise_liveness=True)

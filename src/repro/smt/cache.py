@@ -91,17 +91,44 @@ class QueryCache:
     def __init__(self, max_entries: int = 8192, cache_dir: str | None = None):
         self.max_entries = max_entries
         self.cache_dir = cache_dir
+        self.namespace = ""
         self.stats = CacheStats()
         self._lru: "OrderedDict[str, tuple[Result, int]]" = OrderedDict()
         #: terms are interned, so canonical printings memoise per object.
         self._key_memo: dict[Term, str] = {}
+
+    def for_target(self, namespace: str) -> "QueryCache":
+        """A view of this cache whose keys carry a target-language tag.
+
+        Two targets lower the same LLVM function to structurally similar
+        obligations; without a namespace, a vx86 answer could satisfy a
+        vriscv lookup through a shared ``cache_dir`` even though the
+        queries belong to different semantics.  The view shares every
+        piece of mutable state with its parent (LRU, canonical-key memo,
+        stats, disk store) — only the key prefix differs, so entries from
+        different targets can never alias.
+        """
+        if namespace == self.namespace:
+            return self
+        view = QueryCache.__new__(QueryCache)
+        view.max_entries = self.max_entries
+        view.cache_dir = self.cache_dir
+        view.namespace = namespace
+        view.stats = self.stats
+        view._lru = self._lru
+        view._key_memo = self._key_memo
+        return view
 
     # -- keys ------------------------------------------------------------------
 
     def key_for(self, goal: Term) -> str:
         key = self._key_memo.get(goal)
         if key is None:
+            # The memo stores the raw canonical printing (shareable across
+            # namespaced views); the prefix is applied per-lookup.
             key = self._key_memo[goal] = canonical(goal)
+        if self.namespace:
+            return f"{self.namespace}\x1f{key}"
         return key
 
     def _path_for(self, key: str) -> str:

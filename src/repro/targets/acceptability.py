@@ -1,0 +1,53 @@
+"""Per-target instances of the acceptability relation 𝒜 (Section 4.6).
+
+The relation is a *parameter* of the theory — KEQ receives an
+:class:`repro.keq.acceptability.Acceptability` instance and never asks
+which ISA produced it — but the right instance depends on how the target
+behaves on source-level undefined behaviour:
+
+* **vx86** traps where LLVM errs (division by zero raises ``#DE``), so
+  the default policy suffices: left errors are accepted outright, and a
+  right error is matched by a left error of the same kind.
+
+* **Virtual RISC-V** never traps — ``div``/``rem`` produce the
+  architecturally defined fallback values and execution continues.  A
+  path that is UB on the left therefore *keeps running* on the right,
+  and in bisimulation mode those right states must still be covered.
+  The paper's policy already licenses this ("a left error state is
+  related to **any** right state"); :class:`LeftErrorCoversRight` simply
+  makes the pair rule agree with it, so the right-side continuation of a
+  left-UB path is blackened through the same refinement-only path
+  condition check the default policy applies to left errors.
+"""
+
+from __future__ import annotations
+
+from repro.keq.acceptability import Acceptability, default_acceptability
+from repro.semantics.state import ProgramState
+
+__all__ = [
+    "LeftErrorCoversRight",
+    "default_acceptability",
+    "nontrapping_acceptability",
+]
+
+
+class LeftErrorCoversRight(Acceptability):
+    """𝒜 for a right language that continues through left-side UB.
+
+    Identical to the default policy except that the error-pair rule
+    honours ``left_error_accepts_all`` literally: a left error state is
+    related to any right state, *including running ones*.  Right errors
+    with a non-error left state remain unrelated — the target must not
+    invent failures the source does not have.
+    """
+
+    def error_pair_related(self, left: ProgramState, right: ProgramState) -> bool:
+        if self.left_error_accepted(left):
+            return True
+        return super().error_pair_related(left, right)
+
+
+def nontrapping_acceptability() -> Acceptability:
+    """The LLVM / non-trapping-target policy (used by Virtual RISC-V)."""
+    return LeftErrorCoversRight()

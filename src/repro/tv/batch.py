@@ -82,8 +82,16 @@ class BatchResult:
             ("Total", supported),
         ]
 
+    @property
+    def targets(self) -> tuple[str, ...]:
+        """Target ISAs stamped on the outcomes (normally exactly one)."""
+        return tuple(sorted({o.target for o in self.outcomes}))
+
     def summary(self) -> str:
-        lines = ["Result                         #Functions"]
+        lines = []
+        if self.outcomes:
+            lines.append(f"target: {','.join(self.targets)}")
+        lines.append("Result                         #Functions")
         for label, value in self.figure6_rows():
             lines.append(f"{label:<30} {value}")
         times = self.times()

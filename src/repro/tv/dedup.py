@@ -54,8 +54,9 @@ import hashlib
 import re
 from dataclasses import dataclass, field
 
-from repro.isel import IselError, select_function
+from repro.isel import IselError
 from repro.llvm import ir
+from repro.targets import get_target
 from repro.tv.driver import TvOptions
 from repro.vcgen import VcGenError, generate_sync_points
 
@@ -137,14 +138,16 @@ def spec_fingerprint(
     module nor listed in ``known_externals`` (see the module docstring).
     """
     function = module.function(function_name)
+    target = get_target(options.target)
     try:
-        machine, hints = select_function(module, function, options.isel)
+        machine, hints = target.select_function(module, function, options.isel)
         points = generate_sync_points(
             module,
             function,
             machine,
             hints,
             imprecise_liveness=options.imprecise_liveness,
+            target=target.name,
         )
     except (IselError, VcGenError):
         return None

@@ -25,21 +25,20 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.isel import IselError, IselOptions, select_function
+from repro.isel import IselError, IselOptions
 from repro.keq import (
     FailureReason,
     Keq,
     KeqOptions,
     KeqReport,
     Verdict,
-    default_acceptability,
 )
 from repro.keq.report import FAILURE_CLASS_INADEQUATE_SYNC
 from repro.llvm import ir
 from repro.llvm.semantics import LlvmSemantics, SemanticsError
 from repro.smt import QueryCache, QueryStats, SessionCore, Solver
+from repro.targets import DEFAULT_TARGET, get_target
 from repro.vcgen import VcGenError, generate_sync_points
-from repro.vx86.semantics import Vx86Semantics
 
 
 class Category:
@@ -58,18 +57,29 @@ class TvOptions:
     imprecise_liveness: bool = False
     #: cap on the sync-point specification size (see Category.OOM).
     parser_memory_budget: int | None = 4000
+    #: target ISA name (see :mod:`repro.targets`); rides inside the
+    #: options object so batch/parallel/campaign/service workers all
+    #: validate against the same machine language without any extra
+    #: plumbing, and enters dedup fingerprints via ``repr(options)``.
+    target: str = DEFAULT_TARGET
 
     @staticmethod
-    def for_campaign(wall_budget_seconds: float = 30.0) -> "TvOptions":
+    def for_campaign(
+        wall_budget_seconds: float = 30.0, target: str = DEFAULT_TARGET
+    ) -> "TvOptions":
         """Batch-campaign defaults: the paper's per-function wall-clock
         limit (scaled from 3 hours on a Xeon to seconds here)."""
-        return TvOptions(keq=KeqOptions(wall_budget_seconds=wall_budget_seconds))
+        return TvOptions(
+            keq=KeqOptions(wall_budget_seconds=wall_budget_seconds), target=target
+        )
 
 
 @dataclass
 class TvOutcome:
     function: str
     category: str
+    #: target ISA this outcome was validated against.
+    target: str = DEFAULT_TARGET
     report: KeqReport | None = None
     detail: str = ""
     seconds: float = 0.0
@@ -117,6 +127,11 @@ def validate_function(
     ``options.keq.session_scope == "campaign"``, the function's solver
     sessions attach to it instead of opening function-scoped state."""
     options = options or TvOptions()
+    target = get_target(options.target)
+    if cache is not None:
+        # Namespace cached query keys by target so vx86/vriscv obligations
+        # can never alias across a shared cache store.
+        cache = cache.for_target(target.name)
     function = module.function(function_name)
     size = _code_size(function)
     started = time.perf_counter()
@@ -139,8 +154,9 @@ def validate_function(
         return TvOutcome(
             function_name,
             category,
-            report,
-            detail,
+            target=target.name,
+            report=report,
+            detail=detail,
             seconds=time.perf_counter() - started,
             code_size=size,
             sync_points=points,
@@ -150,7 +166,7 @@ def validate_function(
 
     # 1. Instruction selection + hint generation.
     try:
-        machine, hints = select_function(module, function, options.isel)
+        machine, hints = target.select_function(module, function, options.isel)
     except IselError as error:
         return done(Category.UNSUPPORTED, detail=str(error))
 
@@ -162,6 +178,7 @@ def validate_function(
             machine,
             hints,
             imprecise_liveness=options.imprecise_liveness,
+            target=target.name,
         )
     except VcGenError as error:
         return done(
@@ -180,13 +197,14 @@ def validate_function(
             points=len(points),
         )
 
-    # 3. KEQ.
+    # 3. KEQ — language-parametric: the right side is whatever semantics
+    # the target registry hands back, through the same entry points.
     left = LlvmSemantics(module)
-    right = Vx86Semantics({machine.name: machine})
+    right = target.semantics({machine.name: machine})
     keq = Keq(
         left,
         right,
-        default_acceptability(),
+        target.acceptability(),
         options.keq,
         solver=solver,
         session_core=session_core,

@@ -28,12 +28,15 @@ from repro.llvm import ir
 from repro.llvm.typing import value_types
 from repro.llvm.types import VoidType, bit_width, sizeof
 from repro.memory import MemoryObject
+from repro.mir import MachineFunction
 from repro.semantics.state import Location
-from repro.vx86.insns import ARGUMENT_REGISTERS, MachineFunction
+from repro.targets import DEFAULT_TARGET, get_target
 
 #: Canonical argument-register names at a given bit width do not change —
-#: the canonical 64-bit name is the environment key; the constraint width
-#: selects the sub-register view.
+#: the canonical full-width name is the environment key; the constraint
+#: width selects the sub-register view.  Which names carry arguments and
+#: the return value is the target's calling convention, resolved through
+#: the target registry.
 
 
 class VcGenError(Exception):
@@ -47,6 +50,7 @@ def generate_sync_points(
     hints: IselHints,
     imprecise_liveness: bool = False,
     loop_point_style: str = "per-predecessor",
+    target: str = DEFAULT_TARGET,
 ) -> SyncPointSet:
     """Generate the VC for one ISel instance.
 
@@ -56,9 +60,14 @@ def generate_sync_points(
     instructions"), or ``"post-phi"`` (a single point per header placed
     *after* the phi group, constraints over the phi results) — the
     alternative the per-experiment ablation compares against.
+
+    ``target`` names the machine's ISA; only the calling convention
+    (argument/return registers) is consulted here — everything else is
+    already expressed in the target-independent machine IR.
     """
     generator = _Generator(
-        module, function, machine, hints, imprecise_liveness, loop_point_style
+        module, function, machine, hints, imprecise_liveness, loop_point_style,
+        target=target,
     )
     return generator.run()
 
@@ -72,8 +81,10 @@ class _Generator:
         hints: IselHints,
         imprecise_liveness: bool,
         loop_point_style: str = "per-predecessor",
+        target: str = DEFAULT_TARGET,
     ):
         self.loop_point_style = loop_point_style
+        self.target = get_target(target)
         self.module = module
         self.function = function
         self.machine = machine
@@ -120,7 +131,7 @@ class _Generator:
             constraints.append(
                 EqConstraint(
                     Expr.env(name, width),
-                    Expr.env(ARGUMENT_REGISTERS[index], min(width, 64)),
+                    Expr.env(self.target.argument_registers[index], min(width, 64)),
                     junk_upper="right" if width < 64 else None,
                 )
             )
@@ -305,14 +316,15 @@ class _Generator:
         machine_block: str,
         machine_index: int,
     ) -> SyncPoint:
+        return_register = self.target.return_register
         machine_live = self._machine_live_at(machine_block, machine_index + 1)
-        constraints = self._live_constraints(machine_live - {"rax"})
+        constraints = self._live_constraints(machine_live - {return_register})
         if call.name is not None:
             width = bit_width(call.return_type)
             constraints.append(
                 EqConstraint(
                     Expr.env(call.name, width),
-                    Expr.env("rax", min(width, 64)),
+                    Expr.env(return_register, min(width, 64)),
                     junk_upper="right" if width < 64 else None,
                 )
             )

@@ -1,0 +1,40 @@
+"""Virtual RISC-V: the second target ISA, validated by the unmodified KEQ."""
+
+from repro.vriscv.insns import (
+    ARGUMENT_REGISTERS,
+    BRANCH_OPS,
+    Imm,
+    Label,
+    MachineBlock,
+    MachineFunction,
+    MemRef,
+    MInstr,
+    OPCODES,
+    REGISTERS,
+    RETURN_REGISTER,
+    VReg,
+    XReg,
+    ZERO_REGISTER,
+)
+from repro.vriscv.parser import parse_machine_function
+from repro.vriscv.semantics import VRiscvSemantics, machine_entry_state
+
+__all__ = [
+    "ARGUMENT_REGISTERS",
+    "BRANCH_OPS",
+    "Imm",
+    "Label",
+    "MInstr",
+    "MachineBlock",
+    "MachineFunction",
+    "MemRef",
+    "OPCODES",
+    "REGISTERS",
+    "RETURN_REGISTER",
+    "VReg",
+    "VRiscvSemantics",
+    "XReg",
+    "ZERO_REGISTER",
+    "machine_entry_state",
+    "parse_machine_function",
+]

@@ -11,12 +11,51 @@ Division is modelled with explicit quotient/remainder opcodes
 ``rdx:rax`` convention; LLVM's own Machine IR likewise uses pseudo
 expansions before register allocation, and the trap behaviour (#DE on zero
 divisor or quotient overflow) is preserved in the semantics.
+
+The operand kinds and the block/function containers are shared with the
+other virtual targets via :mod:`repro.mir`; this module re-exports them
+so existing importers keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Union
+from dataclasses import dataclass
+from typing import Union
+
+from repro.mir import (
+    Imm,
+    Label,
+    MachineBlock,
+    MachineFunction,
+    MemRef,
+    Operand,
+    PhysReg,
+    VReg,
+)
+
+__all__ = [
+    "ALIASES",
+    "ALU_OPS",
+    "ARGUMENT_REGISTERS",
+    "CMOV_CONDITION",
+    "CMOV_OPS",
+    "CONDITION_CODES",
+    "GPR64",
+    "Imm",
+    "Label",
+    "MInstr",
+    "MachineBlock",
+    "MachineFunction",
+    "MemRef",
+    "OPCODES",
+    "Operand",
+    "PReg",
+    "RETURN_REGISTER",
+    "SETCC_CONDITION",
+    "SETCC_OPS",
+    "UNARY_OPS",
+    "VReg",
+]
 
 # ---------------------------------------------------------------------------
 # Registers
@@ -67,22 +106,8 @@ RETURN_REGISTER = "rax"
 
 
 @dataclass(frozen=True)
-class VReg:
-    """A virtual register ``%vr<id>_<width>``."""
-
-    id: int
-    width: int  # bits
-
-    def __str__(self) -> str:
-        return f"%vr{self.id}_{self.width}"
-
-
-@dataclass(frozen=True)
-class PReg:
+class PReg(PhysReg):
     """A physical register access: canonical 64-bit name + view width."""
-
-    name: str  # canonical, e.g. "rax"
-    width: int
 
     @staticmethod
     def named(alias: str) -> "PReg":
@@ -96,52 +121,6 @@ class PReg:
             if canonical == self.name and width == self.width:
                 return alias
         return f"{self.name}:{self.width}"
-
-
-@dataclass(frozen=True)
-class Imm:
-    value: int
-    width: int
-
-    def __str__(self) -> str:
-        return str(self.value)
-
-
-@dataclass(frozen=True)
-class Label:
-    name: str
-
-    def __str__(self) -> str:
-        return self.name
-
-
-@dataclass(frozen=True)
-class MemRef:
-    """A memory operand: ``[object + base + disp]`` with byte access width.
-
-    ``object`` names a memory object (a global or a frame slot) and ``base``
-    is an optional register holding a byte offset *or* a full pointer (when
-    ``object`` is None).  This mirrors x86 addressing restricted to the
-    shapes ISel emits with the common memory model.
-    """
-
-    width_bytes: int
-    object: str | None = None
-    base: Union[VReg, PReg, None] = None
-    disp: int = 0
-
-    def __str__(self) -> str:
-        parts = []
-        if self.object is not None:
-            parts.append(self.object)
-        if self.base is not None:
-            parts.append(str(self.base))
-        if self.disp or not parts:
-            parts.append(str(self.disp))
-        return f"[{' + '.join(parts)}]"
-
-
-Operand = Union[VReg, PReg, Imm, Label, MemRef]
 
 
 # ---------------------------------------------------------------------------
@@ -266,84 +245,13 @@ class MInstr:
             return f"{self.result} = {opcode} {parts}".rstrip()
         return f"{opcode} {parts}".rstrip()
 
+    def branch_targets(self) -> list[str]:
+        if self.opcode == "jmp" or self.opcode in CONDITION_CODES:
+            target = self.operands[0]
+            assert isinstance(target, Label)
+            return [target.name]
+        return []
+
     @property
     def is_terminator(self) -> bool:
         return self.opcode in ("jmp", "ret") or self.opcode in CONDITION_CODES
-
-
-# ---------------------------------------------------------------------------
-# Containers
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class MachineBlock:
-    name: str
-    instructions: list[MInstr] = field(default_factory=list)
-
-    def successors(self) -> list[str]:
-        result = []
-        for instruction in self.instructions:
-            if instruction.opcode == "jmp" or instruction.opcode in CONDITION_CODES:
-                target = instruction.operands[0]
-                assert isinstance(target, Label)
-                result.append(target.name)
-        return result
-
-    def phis(self) -> list[MInstr]:
-        result = []
-        for instruction in self.instructions:
-            if instruction.opcode == "PHI":
-                result.append(instruction)
-            else:
-                break
-        return result
-
-    def __str__(self) -> str:
-        lines = [f"{self.name}:"]
-        lines += [f"  {instruction}" for instruction in self.instructions]
-        return "\n".join(lines)
-
-
-@dataclass
-class MachineFunction:
-    name: str
-    blocks: dict[str, MachineBlock] = field(default_factory=dict)
-    #: frame slots: object name -> byte size (objects in the common memory
-    #: model, shared with the LLVM side's allocas by construction).
-    frame_objects: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def entry_block(self) -> MachineBlock:
-        return next(iter(self.blocks.values()))
-
-    def block(self, name: str) -> MachineBlock:
-        if name not in self.blocks:
-            raise KeyError(f"no block {name!r} in {self.name}")
-        return self.blocks[name]
-
-    def add_block(self, block: MachineBlock) -> MachineBlock:
-        if block.name in self.blocks:
-            raise ValueError(f"duplicate block {block.name!r}")
-        self.blocks[block.name] = block
-        return block
-
-    def predecessors(self) -> dict[str, list[str]]:
-        result: dict[str, list[str]] = {name: [] for name in self.blocks}
-        for block in self.blocks.values():
-            for successor in block.successors():
-                result[successor].append(block.name)
-        return result
-
-    def instructions(self) -> Iterator[tuple[str, int, MInstr]]:
-        for block in self.blocks.values():
-            for index, instruction in enumerate(block.instructions):
-                yield block.name, index, instruction
-
-    def __str__(self) -> str:
-        lines = [f"{self.name}:"]
-        for object_name, size in self.frame_objects.items():
-            lines.append(f"frame {object_name}, {size}")
-        for block in self.blocks.values():
-            lines.append(str(block))
-        return "\n".join(lines)

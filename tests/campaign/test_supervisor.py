@@ -136,3 +136,63 @@ class TestPortfolioManifestRoundTrip:
             corpus=clone_corpus(),
         )
         assert load_manifest(directory)["portfolio"] == 1
+
+
+class TestTargetManifestRoundTrip:
+    """``--target`` must survive halt/resume through the manifest, and a
+    resume under a *different* target must refuse rather than silently
+    mix per-ISA results in one campaign directory."""
+
+    def _run(self, directory, target=None):
+        config = (
+            CampaignConfig(shards=1, jobs=1, wall_budget=30.0, target=target)
+            if target
+            else CampaignConfig(shards=1, jobs=1, wall_budget=30.0)
+        )
+        return run_campaign(directory, config, corpus=clone_corpus())
+
+    def test_target_persisted_in_manifest(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        report = self._run(directory, target="vriscv")
+        assert report.complete
+        assert load_manifest(directory)["target"] == "vriscv"
+        assert "target: vriscv" in report.summary()
+
+    def test_default_target_is_vx86(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        self._run(directory)
+        assert load_manifest(directory)["target"] == "vx86"
+
+    def test_resume_refuses_target_mismatch(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        self._run(directory, target="vriscv")
+        with pytest.raises(CampaignError, match="refusing to resume"):
+            resume_campaign(
+                directory, corpus=clone_corpus(), target="vx86"
+            )
+
+    def test_resume_accepts_matching_or_unspecified_target(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        self._run(directory, target="vriscv")
+        assert resume_campaign(
+            directory, corpus=clone_corpus(), target="vriscv"
+        ).complete
+        assert resume_campaign(directory, corpus=clone_corpus()).complete
+
+    def test_legacy_manifest_without_target_resumes_as_vx86(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        self._run(directory)
+        import json
+        import os
+
+        path = os.path.join(directory, "manifest.json")
+        with open(path) as handle:
+            manifest = json.load(handle)
+        del manifest["target"]
+        with open(path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(CampaignError, match="refusing to resume"):
+            resume_campaign(directory, corpus=clone_corpus(), target="vriscv")
+        assert resume_campaign(
+            directory, corpus=clone_corpus(), target="vx86"
+        ).complete

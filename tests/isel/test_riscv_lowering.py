@@ -1,0 +1,226 @@
+"""Instruction selection to Virtual RISC-V: lowering shapes, the reused
+combines, and bug-injection detection parity with the vx86 backend."""
+
+import pytest
+
+from repro.isel import BugMode, IselError, IselOptions
+from repro.isel.riscv import select_function
+from repro.llvm import parse_module
+from repro.vriscv.insns import Imm, XReg
+
+
+def lower(source, name=None, options=None):
+    module = parse_module(source)
+    function = (
+        module.function(name) if name else next(iter(module.functions.values()))
+    )
+    return module, *select_function(module, function, options)
+
+
+def opcodes(machine, block):
+    return [instruction.opcode for instruction in machine.block(block).instructions]
+
+
+class TestBasicLowering:
+    def test_arguments_copied_from_abi_registers(self):
+        _, machine, _ = lower(
+            "define i32 @f(i32 %a, i32 %b, i32 %c) {\nentry:\n  ret i32 %a\n}"
+        )
+        prologue = machine.block(".LBB0").instructions[:3]
+        sources = [instruction.operands[0] for instruction in prologue]
+        assert [s.name for s in sources] == ["a0", "a1", "a2"]
+        assert all(s.width == 32 for s in sources)
+
+    def test_return_through_a0(self):
+        _, machine, _ = lower("define i32 @f(i32 %a) {\nentry:\n  ret i32 %a\n}")
+        tail = machine.block(".LBB0").instructions[-2:]
+        assert tail[0].opcode == "COPY"
+        assert tail[0].result == XReg("a0", 32)
+        assert tail[1].opcode == "ret"
+
+    def test_constants_materialize_with_li(self):
+        _, machine, _ = lower(
+            "define i32 @f(i32 %a) {\nentry:\n"
+            "  %x = mul i32 %a, %a\n  ret i32 7\n}"
+        )
+        assert "li" in opcodes(machine, ".LBB0")
+        assert "mov" not in opcodes(machine, ".LBB0")
+
+    def test_fused_compare_branch_uses_bltu(self):
+        _, machine, _ = lower(
+            "define i32 @f(i32 %a, i32 %b) {\nentry:\n"
+            "  %c = icmp ult i32 %a, %b\n"
+            "  br i1 %c, label %x, label %y\n"
+            "x:\n  ret i32 1\ny:\n  ret i32 2\n}"
+        )
+        ops = opcodes(machine, ".LBB0")
+        assert "bltu" in ops and "j" in ops
+        assert "slt" not in ops and "sltu" not in ops  # fused, not materialized
+
+    def test_swapped_predicate_branch(self):
+        # sgt has no direct branch: blt with swapped operands.
+        _, machine, _ = lower(
+            "define i32 @f(i32 %a, i32 %b) {\nentry:\n"
+            "  %c = icmp sgt i32 %a, %b\n"
+            "  br i1 %c, label %x, label %y\n"
+            "x:\n  ret i32 1\ny:\n  ret i32 2\n}"
+        )
+        branch = next(
+            i
+            for i in machine.block(".LBB0").instructions
+            if i.opcode == "blt"
+        )
+        # Operand order is (b, a): sgt a b  <=>  blt b a.
+        assert branch.operands[0] is not branch.operands[1]
+
+    def test_compare_against_zero_uses_zero_register(self):
+        _, machine, _ = lower(
+            "define i32 @f(i32 %a) {\nentry:\n"
+            "  %c = icmp eq i32 %a, 0\n"
+            "  br i1 %c, label %x, label %y\n"
+            "x:\n  ret i32 1\ny:\n  ret i32 2\n}"
+        )
+        branch = next(
+            i for i in machine.block(".LBB0").instructions if i.opcode == "beq"
+        )
+        assert isinstance(branch.operands[1], XReg)
+        assert branch.operands[1].name == "zero"
+
+    def test_materialized_equality_via_xor_seqz(self):
+        _, machine, _ = lower(
+            "define i1 @f(i32 %a, i32 %b) {\nentry:\n"
+            "  %c = icmp eq i32 %a, %b\n  ret i1 %c\n}"
+        )
+        ops = opcodes(machine, ".LBB0")
+        assert "xor" in ops and "seqz" in ops
+
+    def test_materialized_inverted_ordering_xors_with_one(self):
+        _, machine, _ = lower(
+            "define i1 @f(i32 %a, i32 %b) {\nentry:\n"
+            "  %c = icmp sge i32 %a, %b\n  ret i1 %c\n}"
+        )
+        instructions = machine.block(".LBB0").instructions
+        assert any(i.opcode == "slt" for i in instructions)
+        invert = next(i for i in instructions if i.opcode == "xor")
+        assert invert.operands[1] == Imm(1, invert.operands[1].width)
+
+    def test_select_lowers_to_sel(self):
+        _, machine, _ = lower(
+            "define i32 @f(i1 %c, i32 %a, i32 %b) {\nentry:\n"
+            "  %r = select i1 %c, i32 %a, i32 %b\n  ret i32 %r\n}"
+        )
+        assert "sel" in opcodes(machine, ".LBB0")
+
+    def test_division_lowers_to_riscv_opcodes(self):
+        _, machine, _ = lower(
+            "define i32 @f(i32 %a, i32 %b) {\nentry:\n"
+            "  %q = udiv i32 %a, %b\n  %r = srem i32 %q, %b\n  ret i32 %r\n}"
+        )
+        ops = opcodes(machine, ".LBB0")
+        assert "divu" in ops and "rem" in ops
+
+    def test_too_many_arguments_rejected(self):
+        with pytest.raises(IselError):
+            lower(
+                "define i32 @f(i32 %a, i32 %b, i32 %c, i32 %d, i32 %e,"
+                " i32 %g, i32 %h, i32 %i, i32 %j) {\nentry:\n  ret i32 %a\n}"
+            )
+
+
+class TestSharedCombines:
+    WAW = """
+@b = external global [8 x i8]
+define void @foo() {
+entry:
+  store i16 0, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 2) to i16*)
+  store i16 2, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 3) to i16*)
+  store i16 1, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 0) to i16*)
+  ret void
+}
+"""
+
+    def test_store_merging_works_on_riscv_ir(self):
+        _, machine, _ = lower(self.WAW, options=IselOptions(merge_stores=True))
+        stores = [
+            i for i in machine.block(".LBB0").instructions if i.opcode == "store"
+        ]
+        assert len(stores) == 2
+        assert stores[0].operands[0].width_bytes == 4
+
+    def test_buggy_store_merge_reorders_on_riscv_too(self):
+        _, machine, _ = lower(
+            self.WAW, options=IselOptions(bug=BugMode.WAW_STORE_MERGE)
+        )
+        stores = [
+            i for i in machine.block(".LBB0").instructions if i.opcode == "store"
+        ]
+        assert len(stores) == 2
+        assert stores[0].operands[0].disp == 3  # merged store moved late
+
+    def test_mul_decompose_uses_shift_add(self):
+        _, machine, _ = lower(
+            "define i32 @f(i32 %a) {\nentry:\n"
+            "  %x = mul i32 %a, 9\n  ret i32 %x\n}",
+            options=IselOptions(mul_decompose=True),
+        )
+        ops = opcodes(machine, ".LBB0")
+        assert "sll" in ops and "mul" not in ops
+
+
+class TestBugDetectionParity:
+    """The seeded mis-compilation injectors must be *detected* on VRISC-V
+    with the same sensitivity the vx86 pipeline has (ISSUE acceptance
+    criterion)."""
+
+    WAW = TestSharedCombines.WAW
+    I96 = """
+@a = external global i96, align 4
+@b = external global i64, align 8
+define void @foo() {
+entry:
+  %srcval = load i96, i96* @a, align 4
+  %tmp96 = lshr i96 %srcval, 64
+  %tmp64 = trunc i96 %tmp96 to i64
+  store i64 %tmp64, i64* @b, align 8
+  ret void
+}
+"""
+
+    def _validate(self, source, isel, target):
+        from repro.tv import TvOptions, validate_function
+
+        module = parse_module(source)
+        options = TvOptions(isel=isel, target=target)
+        return validate_function(module, "foo", options)
+
+    @pytest.mark.parametrize("target", ["vx86", "vriscv"])
+    def test_waw_bug_detected_on_both_targets(self, target):
+        from repro.tv.driver import Category
+
+        outcome = self._validate(
+            self.WAW, IselOptions(bug=BugMode.WAW_STORE_MERGE), target
+        )
+        assert outcome.category == Category.MISCOMPILED
+
+    @pytest.mark.parametrize("target", ["vx86", "vriscv"])
+    def test_correct_merge_validates_on_both_targets(self, target):
+        outcome = self._validate(
+            self.WAW, IselOptions(merge_stores=True), target
+        )
+        assert outcome.ok
+
+    @pytest.mark.parametrize("target", ["vx86", "vriscv"])
+    def test_narrowing_bug_detected_on_both_targets(self, target):
+        from repro.tv.driver import Category
+
+        outcome = self._validate(
+            self.I96, IselOptions(bug=BugMode.LOAD_NARROWING), target
+        )
+        assert outcome.category == Category.MISCOMPILED
+
+    @pytest.mark.parametrize("target", ["vx86", "vriscv"])
+    def test_correct_narrowing_validates_on_both_targets(self, target):
+        outcome = self._validate(
+            self.I96, IselOptions(narrow_loads=True), target
+        )
+        assert outcome.ok

@@ -328,3 +328,57 @@ class TestConcurrentWriters:
                 t.bv_var("p", 16), t.bv_const(1000 + worker, 16)
             )
             assert fresh.lookup(goal, None) is Result.SAT
+
+
+class TestTargetNamespacing:
+    """Per-target views over one shared store (``for_target``): obligations
+    from different target ISAs must never alias, even through a shared
+    ``--cache-dir``."""
+
+    def test_same_namespace_returns_self(self):
+        cache = QueryCache()
+        assert cache.for_target("") is cache
+        view = cache.for_target("vriscv")
+        assert view.for_target("vriscv") is view
+
+    def test_views_do_not_alias_in_memory(self):
+        cache = QueryCache()
+        goal = _sat_query()
+        first = Solver(cache=cache.for_target("vx86"))
+        assert first.check_sat(goal) is Result.SAT
+        # Identical formula under the other target: decided fresh.
+        second = Solver(cache=cache.for_target("vriscv"))
+        assert second.check_sat(goal) is Result.SAT
+        assert second.stats.cache_hits == 0
+        assert second.stats.sat_calls == 1
+        # Same target: served from the shared store.
+        third = Solver(cache=cache.for_target("vx86"))
+        assert third.check_sat(goal) is Result.SAT
+        assert third.stats.cache_hits == 1
+
+    def test_views_do_not_alias_on_disk(self, tmp_path):
+        directory = str(tmp_path / "qc")
+        goal = _sat_query()
+        writer = Solver(cache=QueryCache(cache_dir=directory).for_target("vx86"))
+        assert writer.check_sat(goal) is Result.SAT
+        fresh = QueryCache(cache_dir=directory)
+        cross = Solver(cache=fresh.for_target("vriscv"))
+        assert cross.check_sat(goal) is Result.SAT
+        assert cross.stats.cache_hits == 0
+        same = Solver(cache=QueryCache(cache_dir=directory).for_target("vx86"))
+        assert same.check_sat(goal) is Result.SAT
+        assert same.stats.cache_hits == 1
+
+    def test_keys_prefixed_memo_shared(self):
+        cache = QueryCache()
+        goal = _sat_query()
+        raw = cache.key_for(goal)
+        namespaced = cache.for_target("vriscv").key_for(goal)
+        assert namespaced == f"vriscv\x1f{raw}"
+        # The canonicalisation memo is shared across views: one entry.
+        assert len(cache._key_memo) == 1
+
+    def test_views_share_statistics(self):
+        cache = QueryCache()
+        view = cache.for_target("vriscv")
+        assert view.stats is cache.stats

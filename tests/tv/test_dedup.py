@@ -78,6 +78,25 @@ class TestSpecFingerprint:
             module, "alpha_one", imprecise
         )
 
+    def test_target_participates(self):
+        """The same IR validated against different target ISAs produces
+        different specs — classes never alias across ``--target``."""
+        corpus = clone_corpus()
+        module = corpus.build_module()
+        vx86 = TvOptions(target="vx86")
+        vriscv = TvOptions(target="vriscv")
+        assert spec_fingerprint(module, "alpha_one", vx86) != spec_fingerprint(
+            module, "alpha_one", vriscv
+        )
+
+    def test_clones_still_share_within_a_target(self):
+        corpus = clone_corpus()
+        module = corpus.build_module()
+        vriscv = TvOptions(target="vriscv")
+        assert spec_fingerprint(module, "alpha_one", vriscv) == spec_fingerprint(
+            module, "alpha_two", vriscv
+        )
+
     def test_unsupported_function_is_not_fingerprinted(self):
         corpus = CorpusSpec(
             functions=[

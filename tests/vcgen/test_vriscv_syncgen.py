@@ -1,0 +1,121 @@
+"""Sync-point inference over Virtual RISC-V lowerings.
+
+The generator itself is target-parametric — only the calling convention
+is resolved through the target registry — so these tests pin the
+RISC-V-specific surface: ABI registers at entry/exit/resume, and loop
+points over the fused compare-and-branch control flow the vx86 backend
+does not produce.
+"""
+
+from repro.isel.riscv import select_function
+from repro.llvm import parse_module
+from repro.vcgen import generate_sync_points
+
+ARITH_SEQ_SUM = """
+define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {
+entry:
+  br label %for.cond
+for.cond:
+  %s.0 = phi i32 [ %a0, %entry ], [ %add1, %for.inc ]
+  %a.0 = phi i32 [ %a0, %entry ], [ %add, %for.inc ]
+  %i.0 = phi i32 [ 1, %entry ], [ %inc, %for.inc ]
+  %cmp = icmp ult i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %add = add i32 %a.0, %d
+  %add1 = add i32 %s.0, %add
+  br label %for.inc
+for.inc:
+  %inc = add i32 %i.0, 1
+  br label %for.cond
+for.end:
+  ret i32 %s.0
+}
+"""
+
+CALLS = """
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @g(i32 %x)
+  %a = add i32 %r, %x
+  ret i32 %a
+}
+"""
+
+
+def points_for(source, name=None, **kwargs):
+    module = parse_module(source)
+    function = (
+        module.function(name) if name else next(iter(module.functions.values()))
+    )
+    machine, hints = select_function(module, function)
+    return (
+        generate_sync_points(
+            module, function, machine, hints, target="vriscv", **kwargs
+        ),
+        hints,
+        machine,
+    )
+
+
+class TestCallingConvention:
+    def test_entry_point_covers_riscv_argument_registers(self):
+        points, _, _ = points_for(ARITH_SEQ_SUM)
+        entry = next(p for p in points if p.kind == "entry")
+        rights = [c.right.payload for c in entry.constraints]
+        assert rights == ["a0", "a1", "a2"]
+
+    def test_exit_point_resolves_return_through_registry(self):
+        """The exit constraint is abstract (``ret``/``ret``); the concrete
+        register comes from the registry when the VC is built."""
+        from repro.targets import get_target
+
+        points, _, _ = points_for(ARITH_SEQ_SUM)
+        exit_point = next(p for p in points if p.kind == "exit")
+        ret = next(c for c in exit_point.constraints if c.left.kind == "ret")
+        assert ret.right.kind == "ret"
+        assert get_target("vriscv").return_register == "a0"
+
+    def test_resume_point_relates_result_to_a0(self):
+        points, _, _ = points_for(CALLS)
+        resume = next(p for p in points if p.kind == "resume")
+        result_constraints = [
+            c for c in resume.constraints if c.right.payload == "a0"
+        ]
+        assert len(result_constraints) == 1
+        assert result_constraints[0].left.payload == "r"
+
+
+class TestLoopPointsOverFusedBranches:
+    def test_one_point_per_predecessor(self):
+        points, _, _ = points_for(ARITH_SEQ_SUM)
+        loop_points = [p for p in points if p.kind == "loop"]
+        previous = {p.left.prev_block for p in loop_points}
+        assert previous == {"entry", "for.inc"}
+
+    def test_loop_header_has_fused_branch_not_materialized_compare(self):
+        """The loop exit condition lowers to ``bgeu``/``bltu`` — the sync
+        points must still land on the header hinted block."""
+        points, hints, machine = points_for(ARITH_SEQ_SUM)
+        header = hints.block_map["for.cond"]
+        opcodes = [i.opcode for i in machine.block(header).instructions]
+        assert any(op in ("bltu", "bgeu") for op in opcodes)
+        assert "sltu" not in opcodes
+        loop_point = next(p for p in points if p.kind == "loop")
+        assert loop_point.right.location.block == header
+
+    def test_constraints_cover_live_values_per_edge(self):
+        points, _, _ = points_for(ARITH_SEQ_SUM)
+        from_inc = next(
+            p
+            for p in points
+            if p.kind == "loop" and p.left.prev_block == "for.inc"
+        )
+        lefts = {
+            c.left.payload for c in from_inc.constraints if c.left.kind == "env"
+        }
+        assert {"add", "add1", "inc", "n", "d"} <= lefts
+
+    def test_all_points_check_memory(self):
+        points, _, _ = points_for(ARITH_SEQ_SUM)
+        assert all(p.check_memory for p in points)

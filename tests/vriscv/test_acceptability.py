@@ -1,0 +1,93 @@
+"""The per-target acceptability instances (Section 4.6).
+
+Virtual RISC-V never traps: a source path that is UB on the left keeps
+executing on the right, and in bisimulation mode those right states must
+be covered by the left error through the error-pair rule.  Found by the
+Figure 6 corpus: a function whose ``udiv`` divisor is provably zero on
+one branch validated on vx86 (both sides trap) but reported a spurious
+miscompile on VRISC-V under the default policy.
+"""
+
+from types import SimpleNamespace
+
+from repro.keq.acceptability import default_acceptability
+from repro.llvm import parse_module
+from repro.semantics.state import StatusKind
+from repro.targets import get_target
+from repro.targets.acceptability import nontrapping_acceptability
+from repro.tv import TvOptions, validate_function
+
+ALWAYS_UB = """
+define i32 @f(i32 %a) {
+entry:
+  %q = udiv i32 %a, 0
+  ret i32 %q
+}
+"""
+
+UB_ON_ONE_BRANCH = """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp eq i32 %b, 0
+  br i1 %c, label %zero, label %ok
+zero:
+  %q = udiv i32 %a, 0
+  br label %join
+ok:
+  %r = udiv i32 %a, %b
+  br label %join
+join:
+  %p = phi i32 [ %q, %zero ], [ %r, %ok ]
+  ret i32 %p
+}
+"""
+
+
+def _state(status, kind=None):
+    error = SimpleNamespace(kind=kind) if kind else None
+    return SimpleNamespace(status=status, error=error)
+
+
+class TestPolicyInstances:
+    def test_registry_hands_out_the_right_policies(self):
+        assert type(get_target("vx86").acceptability()) is type(
+            default_acceptability()
+        )
+        assert type(get_target("vriscv").acceptability()) is type(
+            nontrapping_acceptability()
+        )
+
+    def test_left_error_covers_running_right(self):
+        policy = nontrapping_acceptability()
+        left = _state(StatusKind.ERROR, "div_by_zero")
+        right = _state(StatusKind.RUNNING)
+        assert policy.error_pair_related(left, right)
+        # The default policy needs both sides to err.
+        assert not default_acceptability().error_pair_related(left, right)
+
+    def test_right_error_still_needs_a_left_error(self):
+        policy = nontrapping_acceptability()
+        left = _state(StatusKind.RUNNING)
+        right = _state(StatusKind.ERROR, "div_by_zero")
+        assert not policy.error_pair_related(left, right)
+
+
+class TestEndToEnd:
+    def test_unconditional_ub_validates_on_both_targets(self):
+        module = parse_module(ALWAYS_UB)
+        for target in ("vx86", "vriscv"):
+            outcome = validate_function(
+                module, "f", TvOptions(target=target)
+            )
+            assert outcome.ok, (target, outcome.category, outcome.detail)
+
+    def test_branch_local_ub_validates_on_both_targets(self):
+        """The corpus-found shape: one branch always divides by zero, the
+        sibling branch is fine — the non-trapping right side reaches the
+        join on both and must still validate."""
+        module = parse_module(UB_ON_ONE_BRANCH)
+        for target in ("vx86", "vriscv"):
+            outcome = validate_function(
+                module, "f", TvOptions(target=target)
+            )
+            assert outcome.ok, (target, outcome.category, outcome.detail)

@@ -1,0 +1,71 @@
+"""Printer/parser roundtrip for Virtual RISC-V machine functions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isel.riscv import select_function
+from repro.vriscv import parse_machine_function
+from repro.workloads import FunctionShape, generate_module
+
+
+def roundtrip(function) -> None:
+    text = str(function)
+    reparsed = parse_machine_function(text)
+    assert str(reparsed) == text
+    assert list(reparsed.blocks) == list(function.blocks)
+    assert reparsed.frame_objects == function.frame_objects
+
+
+class TestRoundtrip:
+    def test_simple_function(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n  a0.32 = COPY %vr0_32\n  ret\n"
+        )
+        roundtrip(function)
+
+    def test_fused_branch(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n"
+            "  blt %vr0_32, %vr1_32, .LBB1\n  j .LBB2\n"
+            ".LBB1:\n  ret\n.LBB2:\n  ret\n"
+        )
+        roundtrip(function)
+        branch = function.entry_block.instructions[1]
+        assert branch.branch_targets() == [".LBB1"]
+        assert function.entry_block.instructions[2].branch_targets() == [".LBB2"]
+
+    def test_memory_widths_preserved(self):
+        function = parse_machine_function(
+            "f:\nframe stack.f.x, 4\n.LBB0:\n"
+            "  store16 [stack.f.x + 2], 7\n"
+            "  %vr0_8 = load8 [stack.f.x]\n  ret\n"
+        )
+        roundtrip(function)
+        stored = function.entry_block.instructions[0]
+        assert stored.operands[0].width_bytes == 2
+
+    def test_zero_register_operand(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  bne %vr0_8, zero.8, .LBB1\n  j .LBB1\n"
+            ".LBB1:\n  ret\n"
+        )
+        roundtrip(function)
+        branch = function.entry_block.instructions[0]
+        assert branch.operands[1].name == "zero"
+        assert branch.operands[1].width == 8
+
+    @given(seed=st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_isel_output_roundtrips(self, seed):
+        module = generate_module(
+            [
+                (
+                    "f",
+                    FunctionShape(
+                        loops=1, diamonds=1, memory_ops=1, allocas=1, selects=1
+                    ),
+                    seed,
+                )
+            ]
+        )
+        machine, _ = select_function(module, module.functions["f"])
+        roundtrip(machine)

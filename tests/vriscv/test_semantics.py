@@ -1,0 +1,260 @@
+"""Tests for the Virtual RISC-V parser and symbolic semantics."""
+
+import pytest
+
+from repro.memory import Memory, MemoryObject
+from repro.semantics.state import StatusKind
+from repro.smt import t
+from repro.vriscv import (
+    VRiscvSemantics,
+    machine_entry_state,
+    parse_machine_function,
+)
+from repro.vriscv.parser import MachineParseError
+
+
+def run_to_halt(semantics, state, limit=300):
+    frontier = [state]
+    halted = []
+    for _ in range(limit):
+        advanced = []
+        for current in frontier:
+            successors = semantics.step(current)
+            if successors:
+                advanced.extend(successors)
+            else:
+                halted.append(current)
+        if not advanced:
+            return halted
+        frontier = advanced
+    raise AssertionError("did not halt")
+
+
+def run_function(source, registers=None, objects=()):
+    function = parse_machine_function(source)
+    semantics = VRiscvSemantics({function.name: function})
+    memory = Memory.create([MemoryObject(n, s) for n, s in objects])
+    state = machine_entry_state(function, memory, registers or {})
+    return run_to_halt(semantics, state)
+
+
+class TestParser:
+    def test_abi_register_widths(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY a1.32\n  ret\n"
+        )
+        operand = function.entry_block.instructions[0].operands[0]
+        assert operand.name == "a1" and operand.width == 32
+
+    def test_branch_needs_label(self):
+        with pytest.raises(MachineParseError):
+            parse_machine_function("f:\n.LBB0:\n  beq %vr0_32, %vr1_32\n  ret\n")
+
+    def test_malformed_vreg_rejected(self):
+        with pytest.raises(MachineParseError):
+            parse_machine_function("f:\n.LBB0:\n  %vr0_32 = COPY %x\n  ret\n")
+
+
+class TestZeroRegister:
+    def test_read_yields_zero(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = add zero.32, 5\n"
+            "  a0.32 = COPY %vr0_32\n  ret\n"
+        )
+        assert halted[0].returned.value == 5
+
+    def test_write_is_discarded(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  zero = li 99\n  %vr0_64 = COPY zero\n"
+            "  a0 = COPY %vr0_64\n  ret\n"
+        )
+        assert halted[0].returned.value == 0
+        assert "zero" not in halted[0].env
+
+
+class TestRegisterSemantics:
+    def test_narrow_write_zero_extends(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  a0.32 = COPY a1.32\n  ret\n",
+            registers={"a1": t.bv_const(0xFFFFFFFF_FFFFFFFF, 64)},
+        )
+        assert halted[0].returned.value == 0x00000000_FFFFFFFF
+
+    def test_unwritten_register_reads_named_unknown(self):
+        halted = run_function("f:\n.LBB0:\n  %vr0_64 = COPY t3\n  ret\n")
+        assert halted[0].env["vr0_64"] is t.bv_var("reg_t3", 64)
+
+
+class TestAluAndCompares:
+    def test_add_and_compare(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n"
+            "  %vr1_32 = add %vr0_32, 3\n"
+            "  %vr2_8 = sltu %vr0_32, %vr1_32\n"
+            "  a0.8 = COPY %vr2_8\n  ret\n"
+        )
+        halted = run_function(source, registers={"a0": t.bv_const(5, 64)})
+        assert halted[0].returned.value == 1
+
+    def test_slt_signed(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n  %vr1_32 = COPY a1.32\n"
+            "  %vr2_8 = slt %vr0_32, %vr1_32\n  a0.8 = COPY %vr2_8\n  ret\n"
+        )
+        less = run_function(
+            source,
+            registers={
+                "a0": t.bv_const(0xFFFFFFFF, 64),  # -1 as i32
+                "a1": t.bv_const(1, 64),
+            },
+        )
+        assert less[0].returned.value == 1
+
+    def test_seqz_snez(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n"
+            "  %vr1_8 = seqz %vr0_32\n  a0.8 = COPY %vr1_8\n  ret\n"
+        )
+        zero = run_function(source, registers={"a0": t.bv_const(0, 64)})
+        nonzero = run_function(source, registers={"a0": t.bv_const(3, 64)})
+        assert zero[0].returned.value == 1
+        assert nonzero[0].returned.value == 0
+
+    def test_shift_masks_count(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n"
+            "  %vr1_32 = sll %vr0_32, 33\n  a0.32 = COPY %vr1_32\n  ret\n",
+            registers={"a0": t.bv_const(1, 64)},
+        )
+        # Shift counts are masked to width-1 bits: 33 & 31 == 1.
+        assert halted[0].returned.value == 2
+
+
+class TestNonTrappingDivision:
+    def test_div_by_zero_is_all_ones(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n  %vr1_32 = li 0\n"
+            "  %vr2_32 = divu %vr0_32, %vr1_32\n  a0.32 = COPY %vr2_32\n  ret\n",
+            registers={"a0": t.bv_const(7, 64)},
+        )
+        assert len(halted) == 1  # single successor: no error branch
+        assert halted[0].status is StatusKind.EXITED
+        assert halted[0].returned.value == 0xFFFFFFFF
+
+    def test_rem_by_zero_is_dividend(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n  %vr1_32 = li 0\n"
+            "  %vr2_32 = rem %vr0_32, %vr1_32\n  a0.32 = COPY %vr2_32\n  ret\n",
+            registers={"a0": t.bv_const(7, 64)},
+        )
+        assert halted[0].returned.value == 7
+
+    def test_int_min_over_minus_one_wraps(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n  %vr1_32 = COPY a1.32\n"
+            "  %vr2_32 = div %vr0_32, %vr1_32\n  a0.32 = COPY %vr2_32\n  ret\n",
+            registers={
+                "a0": t.bv_const(0x80000000, 64),
+                "a1": t.bv_const(0xFFFFFFFF, 64),
+            },
+        )
+        assert halted[0].returned.value == 0x80000000
+
+
+class TestBranches:
+    def test_fused_blt_taken_and_not(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_32 = COPY a0.32\n  %vr1_32 = COPY a1.32\n"
+            "  blt %vr0_32, %vr1_32, .LBB1\n  j .LBB2\n"
+            ".LBB1:\n  a0.32 = li 1\n  ret\n"
+            ".LBB2:\n  a0.32 = li 0\n  ret\n"
+        )
+        taken = run_function(
+            source,
+            registers={"a0": t.bv_const(1, 64), "a1": t.bv_const(2, 64)},
+        )
+        not_taken = run_function(
+            source,
+            registers={"a0": t.bv_const(2, 64), "a1": t.bv_const(1, 64)},
+        )
+        # Concrete inputs decide the branch: only the matching arm exits.
+        exited = [s for s in taken if s.status is StatusKind.EXITED]
+        assert any(s.returned.value == 1 for s in exited)
+        exited = [s for s in not_taken if s.status is StatusKind.EXITED]
+        assert any(s.returned.value == 0 for s in exited)
+
+    def test_branch_against_zero_register(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_8 = COPY a0.8\n"
+            "  bne %vr0_8, zero.8, .LBB1\n  j .LBB2\n"
+            ".LBB1:\n  a0.32 = li 1\n  ret\n"
+            ".LBB2:\n  a0.32 = li 0\n  ret\n"
+        )
+        halted = run_function(source, registers={"a0": t.bv_const(1, 64)})
+        exited = [s for s in halted if s.status is StatusKind.EXITED]
+        assert any(s.returned.value == 1 for s in exited)
+
+
+class TestSelAndMemory:
+    def test_sel_picks_by_condition(self):
+        source = (
+            "f:\n.LBB0:\n  %vr0_8 = COPY a0.8\n"
+            "  %vr1_32 = li 10\n  %vr2_32 = li 20\n"
+            "  %vr3_32 = sel %vr0_8, %vr1_32, %vr2_32\n"
+            "  a0.32 = COPY %vr3_32\n  ret\n"
+        )
+        true_case = run_function(source, registers={"a0": t.bv_const(1, 64)})
+        false_case = run_function(source, registers={"a0": t.bv_const(0, 64)})
+        assert true_case[0].returned.value == 10
+        assert false_case[0].returned.value == 20
+
+    def test_store_load_roundtrip(self):
+        halted = run_function(
+            "f:\nframe stack.f.x, 4\n.LBB0:\n"
+            "  store32 [stack.f.x], 42\n"
+            "  %vr0_32 = load [stack.f.x]\n"
+            "  a0.32 = COPY %vr0_32\n  ret\n"
+        )
+        assert halted[0].returned.value == 42
+
+    def test_la_then_indirect_store(self):
+        halted = run_function(
+            "f:\nframe stack.f.x, 4\n.LBB0:\n"
+            "  %vr0_64 = la [stack.f.x]\n"
+            "  store32 [%vr0_64], 9\n"
+            "  %vr1_32 = load [%vr0_64]\n"
+            "  a0.32 = COPY %vr1_32\n  ret\n"
+        )
+        assert halted[0].returned.value == 9
+
+    def test_oob_load_errors(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  %vr0_32 = load [g + 12]\n  ret\n",
+            objects=(("g", 8),),
+        )
+        # The sole feasible state is the out-of-bounds error branch.
+        assert any(s.status is StatusKind.ERROR for s in halted)
+
+
+class TestCallsAndReturn:
+    def test_call_pauses_with_arguments(self):
+        function = parse_machine_function(
+            "f:\n.LBB0:\n  call @g, a0, a1\n  ret\n"
+        )
+        semantics = VRiscvSemantics({function.name: function})
+        state = machine_entry_state(
+            function,
+            Memory.create([]),
+            {"a0": t.bv_const(1, 64), "a1": t.bv_const(2, 64)},
+        )
+        (paused,) = semantics.step(state)
+        assert paused.status is StatusKind.CALLING
+        assert paused.call.callee == "g"
+        assert paused.call.result_name == "a0"
+        assert [value.value for value in paused.call.arguments] == [1, 2]
+
+    def test_ret_returns_a0(self):
+        halted = run_function(
+            "f:\n.LBB0:\n  a0 = li 5\n  ret\n"
+        )
+        assert halted[0].returned.value == 5
